@@ -1,0 +1,108 @@
+package perftaint
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/libdb"
+	"repro/internal/taint"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the cost
+// of control-flow taint propagation (the DFSan extension of Section 5.2)
+// and of label-union deduplication.
+
+func runTaint(b *testing.B, controlFlow bool) {
+	spec := apps.LULESH()
+	mod, err := apps.BuildModule(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := apps.LULESHTaintConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := taint.NewEngine()
+		e.ControlFlow = controlFlow
+		mach := interp.NewMachine(mod)
+		mach.Taint = e
+		libdb.DefaultMPI().Bind(mach, e, libdb.RunConfig{CommSize: 8})
+		labels := make([]taint.Label, len(spec.Params))
+		for j, p := range spec.Params {
+			labels[j] = e.Table.Base(p)
+		}
+		if _, err := mach.Run("main", apps.TaintArgs(spec, cfg), labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDataFlowOnly measures the tainted run with control-flow
+// propagation disabled (classic DFSan).
+func BenchmarkAblationDataFlowOnly(b *testing.B) { runTaint(b, false) }
+
+// BenchmarkAblationControlFlow measures the full configuration the paper
+// requires.
+func BenchmarkAblationControlFlow(b *testing.B) { runTaint(b, true) }
+
+// TestAblationControlFlowFindsMoreDependencies verifies the extension is
+// load-bearing: disabling it loses dependencies that only flow through
+// control (the LULESH regElemSize pattern).
+func TestAblationControlFlowFindsMoreDependencies(t *testing.T) {
+	spec := apps.LULESH()
+	mod, err := apps.BuildModule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(cf bool) int {
+		e := taint.NewEngine()
+		e.ControlFlow = cf
+		mach := interp.NewMachine(mod)
+		mach.Taint = e
+		libdb.DefaultMPI().Bind(mach, e, libdb.RunConfig{CommSize: 8})
+		labels := make([]taint.Label, len(spec.Params))
+		for j, p := range spec.Params {
+			labels[j] = e.Table.Base(p)
+		}
+		if _, err := mach.Run("main", apps.TaintArgs(spec, apps.LULESHTaintConfig()), labels); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, deps := range e.FuncLoopDeps() {
+			total += len(deps)
+		}
+		return total
+	}
+	with := count(true)
+	without := count(false)
+	if with < without {
+		t.Fatalf("control-flow tainting lost dependencies: %d with vs %d without", with, without)
+	}
+}
+
+// BenchmarkAblationLabelDedup exercises the union table's deduplication
+// under a worst-case mixing pattern; the paper's 16-bit identifier budget
+// depends on it.
+func BenchmarkAblationLabelDedup(b *testing.B) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := taint.NewTable()
+		base := make([]taint.Label, len(names))
+		for j, n := range names {
+			base[j] = tbl.Base(n)
+		}
+		// 4096 unions over 8 bases can produce at most 255 distinct labels;
+		// dedup must keep the table bounded.
+		l := taint.None
+		for j := 0; j < 4096; j++ {
+			l = tbl.Union(l, base[j%len(base)])
+			if j%7 == 0 {
+				l = base[(j*3)%len(base)]
+			}
+		}
+		if tbl.NumLabels() > 256 {
+			b.Fatalf("dedup failed: %d labels", tbl.NumLabels())
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package perftaint
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/extrap"
+	"repro/internal/interp"
+	"repro/internal/libdb"
+	"repro/internal/taint"
+)
+
+// The benchmark suite regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index):
+//
+//	BenchmarkTable2          — pruning census (Table 2)
+//	BenchmarkTable3          — parameter coverage (Table 3)
+//	BenchmarkFigure3         — LULESH instrumentation overhead (Figure 3)
+//	BenchmarkFigure4         — MILC instrumentation overhead (Figure 4)
+//	BenchmarkDesignReduction — experiment-design reduction (A2)
+//	BenchmarkCoreHours       — campaign core-hour costs (A3)
+//	BenchmarkNoiseResilience — false-dependency pruning (B1)
+//	BenchmarkIntrusion       — CalcQForElems model distortion (B2)
+//	BenchmarkContention      — ranks-per-node contention (Figure 5 / C1)
+//	BenchmarkValidation      — segmented-behaviour detection (C2)
+//
+// plus micro-benchmarks of the substrates (tainted interpretation, label
+// union, PMNF fitting).
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+	benchErr  error
+)
+
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() { benchCtx, benchErr = experiments.NewContext() })
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCtx
+}
+
+func BenchmarkTable2(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(ctx)
+		if res.LULESH.FunctionsTotal != 356 {
+			b.Fatal("census broken")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.Table3(ctx); len(rs) != 2 {
+			b.Fatal("coverage broken")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDesignReduction(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.DesignReduction(ctx); len(rs) != 2 {
+			b.Fatal("design reduction broken")
+		}
+	}
+}
+
+func BenchmarkCoreHours(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CoreHourCosts(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoiseResilience(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NoiseResilienceAll(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntrusion(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Intrusion(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContention(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Contention(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidation(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Validation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkTaintedRunLULESH(b *testing.B) {
+	spec := apps.LULESH()
+	cfg := apps.LULESHTaintConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpreterPlainRun(b *testing.B) {
+	spec := apps.LULESH()
+	mod, err := apps.BuildModule(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := apps.LULESHTaintConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := interp.NewMachine(mod)
+		libdb.DefaultMPI().Bind(mach, nil, libdb.RunConfig{CommSize: 8})
+		if _, err := mach.Run("main", apps.TaintArgs(spec, cfg), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLabelUnion(b *testing.B) {
+	tbl := taint.NewTable()
+	labels := make([]taint.Label, 16)
+	for i := range labels {
+		labels[i] = tbl.Base(string(rune('a' + i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := taint.None
+		for _, x := range labels {
+			l = tbl.Union(l, x)
+		}
+	}
+}
+
+func BenchmarkPMNFSingleFit(b *testing.B) {
+	d := extrap.NewDataset("x")
+	for _, x := range []float64{4, 8, 16, 32, 64, 128} {
+		d.Add(map[string]float64{"x": x}, 3*x+100, 3*x+101, 3*x+99)
+	}
+	opt := extrap.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extrap.ModelSingle(d, "x", opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPMNFMultiFit(b *testing.B) {
+	d := extrap.NewDataset("p", "s")
+	for _, p := range []float64{4, 8, 16, 32, 64} {
+		for _, s := range []float64{32, 64, 128, 256, 512} {
+			v := 1e-4 * p * s
+			d.Add(map[string]float64{"p": p, "s": s}, v, v*1.01, v*0.99)
+		}
+	}
+	opt := extrap.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := extrap.ModelMulti(d, opt, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

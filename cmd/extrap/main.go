@@ -1,0 +1,84 @@
+// Command extrap fits PMNF performance models to a JSON measurement file.
+//
+// Input format:
+//
+//	{
+//	  "params": ["p", "size"],
+//	  "points": [
+//	    {"params": {"p": 4, "size": 32}, "values": [1.02, 0.98, 1.01]},
+//	    ...
+//	  ],
+//	  "allowed": ["size"]          // optional white-box prior
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/extrap"
+)
+
+type inputFile struct {
+	Params []string `json:"params"`
+	Points []struct {
+		Params map[string]float64 `json:"params"`
+		Values []float64          `json:"values"`
+	} `json:"points"`
+	Allowed       []string `json:"allowed"`
+	ForceConstant bool     `json:"force_constant"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("extrap: ")
+	path := flag.String("in", "", "JSON measurement file (default stdin)")
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	if *path == "" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(*path)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var in inputFile
+	if err := json.Unmarshal(raw, &in); err != nil {
+		log.Fatal(err)
+	}
+
+	d := extrap.NewDataset(in.Params...)
+	for _, pt := range in.Points {
+		d.Add(pt.Params, pt.Values...)
+	}
+	var prior *extrap.Prior
+	if in.ForceConstant {
+		prior = &extrap.Prior{ForceConstant: true}
+	} else if len(in.Allowed) > 0 {
+		allowed := make(map[string]bool, len(in.Allowed))
+		for _, p := range in.Allowed {
+			allowed[p] = true
+		}
+		prior = &extrap.Prior{Allowed: allowed}
+	}
+
+	m, err := extrap.ModelMulti(d, extrap.DefaultOptions(), prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model:  %s\n", m)
+	fmt.Printf("smape:  %.4f\n", m.SMAPE)
+	fmt.Printf("cv:     %.4f\n", m.CV)
+	fmt.Printf("params: %v\n", m.Params())
+	if !d.Reliable() {
+		fmt.Printf("warning: max CoV %.3f exceeds the %.1f noise cutoff\n",
+			d.MaxCoV(), extrap.NoiseCutoff)
+	}
+}

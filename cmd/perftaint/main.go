@@ -1,0 +1,79 @@
+// Command perftaint runs the taint-analysis pipeline on a bundled
+// application and emits a JSON report: per-function parameter dependencies,
+// symbolic volumes, the pruning census, and the instrumentation filter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+type jsonReport struct {
+	App          string                     `json:"app"`
+	Census       core.Census                `json:"census"`
+	FuncDeps     map[string][]string        `json:"function_dependencies"`
+	Volumes      map[string]string          `json:"volumes"`
+	Relevant     []string                   `json:"instrumentation_filter"`
+	Selections   []string                   `json:"tainted_selections"`
+	Recursion    []string                   `json:"recursion_warnings"`
+	Instructions int64                      `json:"tainted_run_instructions"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perftaint: ")
+	app := flag.String("app", "lulesh", "application to analyze: lulesh or milc")
+	flag.Parse()
+
+	var spec *apps.Spec
+	var cfg apps.Config
+	switch *app {
+	case "lulesh":
+		spec, cfg = apps.LULESH(), apps.LULESHTaintConfig()
+	case "milc":
+		spec, cfg = apps.MILC(), apps.MILCTaintConfig()
+	default:
+		log.Fatalf("unknown app %q (want lulesh or milc)", *app)
+	}
+
+	rep, err := core.Analyze(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := jsonReport{
+		App:          *app,
+		Census:       rep.Census([]string{"p", "size"}),
+		FuncDeps:     rep.FuncDeps,
+		Volumes:      make(map[string]string),
+		Recursion:    rep.Volumes.RecursionWarnings,
+		Instructions: rep.Instructions,
+	}
+	for fn := range rep.Relevant {
+		out.Relevant = append(out.Relevant, fn)
+	}
+	sort.Strings(out.Relevant)
+	for fn, deps := range rep.FuncDeps {
+		if len(deps) > 0 {
+			out.Volumes[fn] = rep.Volumes.ByFunc[fn].String()
+		}
+	}
+	for _, sel := range rep.Engine.TaintedSelections() {
+		out.Selections = append(out.Selections,
+			fmt.Sprintf("%s@block%d params=%s", sel.Key.Func, sel.Key.Block,
+				rep.Engine.Table.ExpandString(sel.Labels)))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

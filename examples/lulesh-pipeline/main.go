@@ -1,0 +1,59 @@
+// lulesh-pipeline runs the full Perf-Taint modeling workflow on LULESH:
+// taint analysis, taint-filtered measurement campaign, and hybrid modeling
+// of the key kernels — the end-to-end path of Figure 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	perftaint "repro"
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/measure"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Step 1+2: parameter identification through tainting.
+	spec := perftaint.LULESH()
+	rep, err := perftaint.Analyze(spec, perftaint.LULESHTaintConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instrumenting %d of %d functions (taint filter)\n",
+		len(rep.Relevant), len(spec.Funcs))
+
+	// Step 3: instrumented experiments over the 25-point design.
+	ps, sizes := apps.LULESHModelValues()
+	sweep := measure.CrossSweep(apps.LULESHDefaults(), "p", ps, "size", sizes)
+	camp := &measure.Campaign{
+		Runner:      cluster.NewRunner(spec),
+		Sweep:       sweep,
+		Reps:        5,
+		Filter:      measure.FilterTaint,
+		Relevant:    rep.Relevant,
+		Seed:        1,
+		RelNoise:    0.02,
+		ModelParams: []string{"p", "size"},
+	}
+	ds, err := camp.Datasets()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: hybrid model generation with the white-box prior.
+	for _, fn := range []string{"CalcQForElems", "CalcForceForNodes", "CommSBN", "main"} {
+		d := ds[fn]
+		if d == nil {
+			continue
+		}
+		prior := rep.Prior(fn, []string{"p", "size"})
+		m, err := perftaint.FitWithPrior(d, prior)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s deps=%v model: %s\n", fn, rep.FuncDeps[fn], m)
+	}
+}

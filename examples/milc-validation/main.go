@@ -1,0 +1,36 @@
+// milc-validation demonstrates the C2 use case: the taint analysis flags
+// parameter-driven algorithm selection in the MILC gather, warning that a
+// single experiment interval mixes two performance regimes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	perftaint "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	spec := perftaint.MILC()
+	rep, err := perftaint.Analyze(spec, perftaint.MILCTaintConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tainted algorithm-selection branches (one-sided coverage):")
+	for _, sel := range rep.Engine.TaintedSelections() {
+		fmt.Printf("  %s (block %d) controlled by {%s}\n",
+			sel.Key.Func, sel.Key.Block, rep.Engine.Table.ExpandString(sel.Labels))
+	}
+
+	fmt.Println("\nguidance: the g_gather_field branch switches algorithms on p;")
+	fmt.Println("design experiments so each interval contains one behaviour")
+	fmt.Println("(e.g. model p < 8 and p >= 8 separately).")
+
+	// Show the dependency sets of the gather machinery.
+	for _, fn := range []string{"g_gather_field", "ks_congrad", "main"} {
+		fmt.Printf("%-16s depends on %v\n", fn, rep.FuncDeps[fn])
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: analyze the bundled LULESH proxy app, inspect which
+// parameters the taint analysis attaches to a kernel, and fit a hybrid
+// model with the resulting prior.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	perftaint "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Run the Perf-Taint pipeline: build the IR, prune statically,
+	//    execute the tainted run at the paper's configuration.
+	spec := perftaint.LULESH()
+	rep, err := perftaint.Analyze(spec, perftaint.LULESHTaintConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	census := rep.Census([]string{"p", "size"})
+	fmt.Printf("functions: %d total, %d pruned statically, %d dynamically (%.1f%% constant)\n",
+		census.FunctionsTotal, census.PrunedStatically, census.PrunedDynamically,
+		census.PercentConstant)
+
+	// 2. Ask what a kernel's performance may depend on.
+	const kernel = "CalcQForElems"
+	fmt.Printf("%s depends on: %v\n", kernel, rep.FuncDeps[kernel])
+	fmt.Printf("%s volume: %s\n", kernel, rep.Volumes.ByFunc[kernel])
+
+	// 3. Fit a model from (synthetic) measurements using the taint prior:
+	//    parameters the code cannot depend on are excluded up front.
+	d := perftaint.NewDataset("p", "size")
+	for _, p := range []float64{27, 64, 125, 343, 729} {
+		for _, s := range []float64{25, 30, 35, 40, 45} {
+			t := 2.4e-8 * math.Pow(p, 0.25) * s * s * s // the paper's validated shape
+			d.Add(map[string]float64{"p": p, "size": s}, t, t*1.01, t*0.99)
+		}
+	}
+	prior := rep.Prior(kernel, []string{"p", "size"})
+	model, err := perftaint.FitWithPrior(d, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid model: %s\n", model)
+}

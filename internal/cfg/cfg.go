@@ -1,0 +1,349 @@
+// Package cfg provides control-flow-graph analyses over ir functions:
+// dominator and post-dominator trees, natural-loop detection, loop nesting
+// forests, and reducibility/recursion checks. These are the structural
+// inputs of both the static pruning pass (Section 5.1 of the paper) and the
+// dynamic taint sinks (loop-exit branches, Section 4.1).
+package cfg
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Graph is the CFG of one function with precomputed adjacency.
+type Graph struct {
+	Fn    *ir.Function
+	Succ  [][]int
+	Pred  [][]int
+	Order []int // reverse post-order from entry
+	// PostNum[b] is the post-order number of block b (-1 if unreachable).
+	PostNum []int
+}
+
+// Build constructs the CFG for f, including reverse post-order.
+func Build(f *ir.Function) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{
+		Fn:      f,
+		Succ:    make([][]int, n),
+		Pred:    make([][]int, n),
+		PostNum: make([]int, n),
+	}
+	for i := range g.PostNum {
+		g.PostNum[i] = -1
+	}
+	for i, blk := range f.Blocks {
+		g.Succ[i] = blk.Succs(nil)
+		for _, s := range g.Succ[i] {
+			g.Pred[s] = append(g.Pred[s], i)
+		}
+	}
+	// Iterative DFS for post-order.
+	type frame struct {
+		node int
+		next int
+	}
+	visited := make([]bool, n)
+	var post []int
+	stack := []frame{{node: 0}}
+	visited[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(g.Succ[top.node]) {
+			s := g.Succ[top.node][top.next]
+			top.next++
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		post = append(post, top.node)
+		stack = stack[:len(stack)-1]
+	}
+	for i, b := range post {
+		g.PostNum[b] = i
+	}
+	g.Order = make([]int, len(post))
+	for i, b := range post {
+		g.Order[len(post)-1-i] = b
+	}
+	return g
+}
+
+// Reachable reports whether block b is reachable from entry.
+func (g *Graph) Reachable(b int) bool { return g.PostNum[b] >= 0 }
+
+// Dominators computes the immediate-dominator array using the
+// Cooper-Harvey-Kennedy iterative algorithm. idom[entry] == entry;
+// unreachable blocks get -1.
+func Dominators(g *Graph) []int {
+	n := len(g.Fn.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Pred[b] {
+				if !g.Reachable(p) || idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(idom, p, newIdom)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func (g *Graph) intersect(idom []int, b1, b2 int) int {
+	for b1 != b2 {
+		for g.PostNum[b1] < g.PostNum[b2] {
+			b1 = idom[b1]
+		}
+		for g.PostNum[b2] < g.PostNum[b1] {
+			b2 = idom[b2]
+		}
+	}
+	return b1
+}
+
+// Dominates reports whether a dominates b given the idom array.
+func Dominates(idom []int, a, b int) bool {
+	if a == b {
+		return true
+	}
+	for b != idom[b] {
+		b = idom[b]
+		if b == a {
+			return true
+		}
+		if b == -1 {
+			return false
+		}
+	}
+	return a == b
+}
+
+// PostDominators computes immediate post-dominators on the reverse CFG.
+// Functions may have several return blocks, so a virtual exit node n is
+// introduced; ipdom values equal to len(blocks) mean "virtual exit".
+// Blocks that cannot reach any return (infinite loops) post-dominate only
+// themselves and map to the virtual exit as well.
+func PostDominators(g *Graph) []int {
+	n := len(g.Fn.Blocks)
+	virtual := n
+	// Reverse adjacency with virtual exit.
+	succ := make([][]int, n+1)
+	pred := make([][]int, n+1)
+	for i := 0; i < n; i++ {
+		t := g.Fn.Blocks[i].Term()
+		if t.Op == ir.OpRet {
+			succ[i] = append(succ[i], virtual)
+			pred[virtual] = append(pred[virtual], i)
+		}
+		for _, s := range g.Succ[i] {
+			succ[i] = append(succ[i], s)
+			pred[s] = append(pred[s], i)
+		}
+	}
+	// Ensure every reachable block can reach the virtual exit so that the
+	// reverse DFS covers it: link blocks with no path to exit directly.
+	// Post-order on reverse graph starting at virtual exit.
+	postNum := make([]int, n+1)
+	for i := range postNum {
+		postNum[i] = -1
+	}
+	var post []int
+	visited := make([]bool, n+1)
+	var dfs func(u int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, p := range pred[u] {
+			if !visited[p] {
+				dfs(p)
+			}
+		}
+		post = append(post, u)
+	}
+	dfs(virtual)
+	// Any reachable-from-entry block not visited (e.g. infinite loop) gets a
+	// synthetic edge to virtual exit, then recompute.
+	extra := false
+	for i := 0; i < n; i++ {
+		if g.Reachable(i) && !visited[i] {
+			succ[i] = append(succ[i], virtual)
+			pred[virtual] = append(pred[virtual], i)
+			extra = true
+		}
+	}
+	if extra {
+		post = post[:0]
+		for i := range visited {
+			visited[i] = false
+		}
+		dfs(virtual)
+	}
+	for i, b := range post {
+		postNum[b] = i
+	}
+	order := make([]int, len(post))
+	for i, b := range post {
+		order[len(post)-1-i] = b
+	}
+
+	ipdom := make([]int, n+1)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[virtual] = virtual
+	intersect := func(b1, b2 int) int {
+		for b1 != b2 {
+			for postNum[b1] < postNum[b2] {
+				b1 = ipdom[b1]
+			}
+			for postNum[b2] < postNum[b1] {
+				b2 = ipdom[b2]
+			}
+		}
+		return b1
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == virtual {
+				continue
+			}
+			newIpdom := -1
+			for _, s := range succ[b] {
+				if postNum[s] == -1 || ipdom[s] == -1 {
+					continue
+				}
+				if newIpdom == -1 {
+					newIpdom = s
+				} else {
+					newIpdom = intersect(s, newIpdom)
+				}
+			}
+			if newIpdom != -1 && ipdom[b] != newIpdom {
+				ipdom[b] = newIpdom
+				changed = true
+			}
+		}
+	}
+	return ipdom[:n]
+}
+
+// CallGraph maps each function to the set of callees appearing in its body.
+type CallGraph struct {
+	Callees map[string][]string
+}
+
+// BuildCallGraph scans all call instructions in m.
+func BuildCallGraph(m *ir.Module) *CallGraph {
+	cg := &CallGraph{Callees: make(map[string][]string)}
+	for _, f := range m.FuncList {
+		seen := make(map[string]bool)
+		for _, blk := range f.Blocks {
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				if in.Op == ir.OpCall && !seen[in.Sym] {
+					seen[in.Sym] = true
+					cg.Callees[f.Name] = append(cg.Callees[f.Name], in.Sym)
+				}
+			}
+		}
+	}
+	return cg
+}
+
+// FindRecursion returns the names of functions participating in a call-graph
+// cycle. The paper's volume analysis rejects recursive programs and warns;
+// callers use this to emit that warning.
+func (cg *CallGraph) FindRecursion() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	inCycle := make(map[string]bool)
+	var stack []string
+	var dfs func(u string)
+	dfs = func(u string) {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, v := range cg.Callees[u] {
+			switch color[v] {
+			case white:
+				dfs(v)
+			case gray:
+				// Everything on the stack from v onward is in a cycle.
+				for i := len(stack) - 1; i >= 0; i-- {
+					inCycle[stack[i]] = true
+					if stack[i] == v {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+	}
+	var names []string
+	for u := range cg.Callees {
+		if color[u] == white {
+			dfs(u)
+		}
+	}
+	for u := range inCycle {
+		names = append(names, u)
+	}
+	return names
+}
+
+// TopoOrder returns functions of m in reverse-callee order (callees before
+// callers) for bottom-up interprocedural passes. Recursive cycles are broken
+// arbitrarily; callers should check FindRecursion first.
+func TopoOrder(m *ir.Module, cg *CallGraph) []*ir.Function {
+	state := make(map[string]int)
+	var order []*ir.Function
+	var visit func(name string)
+	visit = func(name string) {
+		if state[name] != 0 {
+			return
+		}
+		state[name] = 1
+		for _, c := range cg.Callees[name] {
+			if _, ok := m.Funcs[c]; ok {
+				visit(c)
+			}
+		}
+		state[name] = 2
+		order = append(order, m.Funcs[name])
+	}
+	for _, f := range m.FuncList {
+		visit(f.Name)
+	}
+	if len(order) != len(m.FuncList) {
+		panic(fmt.Sprintf("cfg: topo order lost functions: %d != %d", len(order), len(m.FuncList)))
+	}
+	return order
+}

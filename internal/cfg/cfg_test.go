@@ -1,0 +1,294 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+// buildNest constructs for(i<p) { for(j<q) { work } }; for(k<r) { work }.
+func buildNest(m *ir.Module) *ir.Function {
+	b := ir.NewFunc(m, "nest", 3)
+	one := b.Const(1)
+	b.For(b.Const(0), b.Param(0), one, func(i ir.Reg) {
+		b.For(b.Const(0), b.Param(1), b.Const(1), func(j ir.Reg) {
+			b.Work(b.Const(1))
+		})
+	})
+	b.For(b.Const(0), b.Param(2), b.Const(1), func(k ir.Reg) {
+		b.Work(b.Const(1))
+	})
+	b.RetVoid()
+	return b.Finish()
+}
+
+func TestDominatorsStraightLine(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewFunc(m, "f", 1)
+	blk1 := b.NewBlock("b1")
+	b.Jmp(blk1)
+	b.SetBlock(blk1)
+	b.RetVoid()
+	f := b.Finish()
+
+	g := Build(f)
+	idom := Dominators(g)
+	if idom[0] != 0 {
+		t.Fatalf("idom[entry] = %d, want 0", idom[0])
+	}
+	if idom[1] != 0 {
+		t.Fatalf("idom[1] = %d, want 0", idom[1])
+	}
+	if !Dominates(idom, 0, 1) {
+		t.Fatal("entry should dominate block 1")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewFunc(m, "f", 1)
+	out := b.Const(0)
+	b.If(b.Param(0), func() { b.MovTo(out, b.Const(1)) }, func() { b.MovTo(out, b.Const(2)) })
+	b.Ret(out)
+	f := b.Finish()
+
+	g := Build(f)
+	idom := Dominators(g)
+	// The join block's idom must be the branch block (entry).
+	var joinIdx = -1
+	for i, blk := range f.Blocks {
+		if blk.Name == "join" {
+			joinIdx = i
+		}
+	}
+	if joinIdx < 0 {
+		t.Fatal("no join block")
+	}
+	if idom[joinIdx] != 0 {
+		t.Fatalf("idom[join] = %d, want entry 0", idom[joinIdx])
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewFunc(m, "f", 1)
+	out := b.Const(0)
+	b.If(b.Param(0), func() { b.MovTo(out, b.Const(1)) }, func() { b.MovTo(out, b.Const(2)) })
+	b.Ret(out)
+	f := b.Finish()
+
+	g := Build(f)
+	ipdom := PostDominators(g)
+	joinIdx := -1
+	for i, blk := range f.Blocks {
+		if blk.Name == "join" {
+			joinIdx = i
+		}
+	}
+	if ipdom[0] != joinIdx {
+		t.Fatalf("ipdom[entry] = %d, want join %d", ipdom[0], joinIdx)
+	}
+}
+
+func TestFindLoopsNestAndSequence(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	g := Build(f)
+	forest := FindLoops(g)
+
+	if len(forest.Loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(forest.Loops))
+	}
+	if forest.Irreducible {
+		t.Fatal("builder loops must be reducible")
+	}
+	if len(forest.Roots) != 2 {
+		t.Fatalf("root loops = %d, want 2 (outer + sequential)", len(forest.Roots))
+	}
+	depth2 := 0
+	for _, l := range forest.Loops {
+		if l.Depth == 2 {
+			depth2++
+			if l.Parent == nil {
+				t.Fatal("depth-2 loop must have a parent")
+			}
+		}
+		if len(l.ExitBranches) == 0 {
+			t.Fatalf("loop %v has no exit branch", l)
+		}
+	}
+	if depth2 != 1 {
+		t.Fatalf("depth-2 loops = %d, want 1", depth2)
+	}
+}
+
+func TestLoopOfBranch(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	g := Build(f)
+	forest := FindLoops(g)
+	for _, l := range forest.Loops {
+		for _, e := range l.ExitBranches {
+			got := forest.LoopOfBranch(e.Block)
+			if got == nil {
+				t.Fatalf("LoopOfBranch(%d) = nil", e.Block)
+			}
+			if !got.Contains(e.Block) {
+				t.Fatalf("LoopOfBranch(%d) returned non-containing loop", e.Block)
+			}
+		}
+	}
+	if forest.LoopOfBranch(0) != nil {
+		t.Fatal("entry block is not a loop exit")
+	}
+}
+
+func TestIrreducibleDetection(t *testing.T) {
+	// Two blocks jumping into each other's middle via a branch from entry:
+	// entry -> A or B; A -> B; B -> A. The cycle {A,B} has two entries.
+	f := &ir.Function{
+		Name:    "irr",
+		NumRegs: 1,
+		Blocks: []*ir.Block{
+			{Index: 0, Name: "entry", Instrs: []ir.Instr{
+				{Op: ir.OpConst, Dst: 0, A: ir.NoReg, B: ir.NoReg, Imm: 1},
+				{Op: ir.OpBr, Dst: ir.NoReg, A: 0, B: ir.NoReg, Blk0: 1, Blk1: 2},
+			}},
+			{Index: 1, Name: "A", Instrs: []ir.Instr{
+				{Op: ir.OpBr, Dst: ir.NoReg, A: 0, B: ir.NoReg, Blk0: 2, Blk1: 3},
+			}},
+			{Index: 2, Name: "B", Instrs: []ir.Instr{
+				{Op: ir.OpBr, Dst: ir.NoReg, A: 0, B: ir.NoReg, Blk0: 1, Blk1: 3},
+			}},
+			{Index: 3, Name: "exit", Instrs: []ir.Instr{
+				{Op: ir.OpRet, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg},
+			}},
+		},
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	forest := FindLoops(Build(f))
+	if !forest.Irreducible {
+		t.Fatal("expected irreducibility flag for multi-entry cycle")
+	}
+}
+
+func TestCallGraphAndRecursion(t *testing.T) {
+	m := ir.NewModule("t")
+	leaf := ir.NewFunc(m, "leaf", 0)
+	leaf.RetVoid()
+	leaf.Finish()
+	mid := ir.NewFunc(m, "mid", 0)
+	mid.Call("leaf")
+	mid.RetVoid()
+	mid.Finish()
+	root := ir.NewFunc(m, "root", 0)
+	root.Call("mid")
+	root.Call("leaf")
+	root.RetVoid()
+	root.Finish()
+
+	cg := BuildCallGraph(m)
+	if got := len(cg.Callees["root"]); got != 2 {
+		t.Fatalf("root callees = %d, want 2", got)
+	}
+	if rec := cg.FindRecursion(); len(rec) != 0 {
+		t.Fatalf("unexpected recursion: %v", rec)
+	}
+	order := TopoOrder(m, cg)
+	pos := map[string]int{}
+	for i, f := range order {
+		pos[f.Name] = i
+	}
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["root"]) {
+		t.Fatalf("topo order wrong: %v", pos)
+	}
+}
+
+func TestFindRecursionDetectsCycle(t *testing.T) {
+	m := ir.NewModule("t")
+	a := ir.NewFunc(m, "a", 0)
+	a.Call("b")
+	a.RetVoid()
+	a.Finish()
+	bb := ir.NewFunc(m, "b", 0)
+	bb.Call("a")
+	bb.RetVoid()
+	bb.Finish()
+
+	cg := BuildCallGraph(m)
+	rec := cg.FindRecursion()
+	if len(rec) != 2 {
+		t.Fatalf("recursion set = %v, want both a and b", rec)
+	}
+}
+
+// randomReducibleFunc builds a random function out of nested structured
+// loops and conditionals; by construction it must be reducible and the
+// number of For loops must equal the detected natural loop count.
+func randomReducibleFunc(seed int64) (*ir.Function, int) {
+	rng := rand.New(rand.NewSource(seed))
+	m := ir.NewModule("rand")
+	b := ir.NewFunc(m, "f", 2)
+	loops := 0
+	var gen func(depth int)
+	gen = func(depth int) {
+		n := rng.Intn(3)
+		for k := 0; k <= n; k++ {
+			switch {
+			case depth < 3 && rng.Intn(2) == 0:
+				loops++
+				b.For(b.Const(0), b.Param(0), b.Const(1), func(i ir.Reg) {
+					gen(depth + 1)
+				})
+			case rng.Intn(2) == 0:
+				b.If(b.CmpLT(b.Param(0), b.Param(1)), func() {
+					if depth < 3 && rng.Intn(2) == 0 {
+						gen(depth + 1)
+					} else {
+						b.Work(b.Const(1))
+					}
+				}, nil)
+			default:
+				b.Work(b.Const(1))
+			}
+		}
+	}
+	gen(0)
+	b.RetVoid()
+	return b.Finish(), loops
+}
+
+func TestFindLoopsPropertyRandomStructured(t *testing.T) {
+	prop := func(seed int64) bool {
+		f, wantLoops := randomReducibleFunc(seed)
+		forest := FindLoops(Build(f))
+		return !forest.Irreducible && len(forest.Loops) == wantLoops
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorPropertyIdomDominates(t *testing.T) {
+	prop := func(seed int64) bool {
+		f, _ := randomReducibleFunc(seed)
+		g := Build(f)
+		idom := Dominators(g)
+		for bidx := 1; bidx < len(f.Blocks); bidx++ {
+			if !g.Reachable(bidx) {
+				continue
+			}
+			if !Dominates(idom, idom[bidx], bidx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/noise"
+)
+
+func TestContentionFactorShape(t *testing.T) {
+	m := Skylake()
+	if got := m.ContentionFactor(0.8, 1); got != 1 {
+		t.Fatalf("single rank contention = %g, want 1", got)
+	}
+	if got := m.ContentionFactor(0, 36); got != 1 {
+		t.Fatalf("zero intensity contention = %g, want 1", got)
+	}
+	// Monotone in r and in memory intensity.
+	if !(m.ContentionFactor(0.8, 18) > m.ContentionFactor(0.8, 4)) {
+		t.Fatal("contention must grow with co-location")
+	}
+	if !(m.ContentionFactor(0.9, 18) > m.ContentionFactor(0.2, 18)) {
+		t.Fatal("contention must grow with memory intensity")
+	}
+	// C1 regime: around +50% for a memory-bound function at full socket.
+	f := m.ContentionFactor(0.85, 18)
+	if f < 1.2 || f > 2.2 {
+		t.Fatalf("contention at r=18 = %g, want ~1.5", f)
+	}
+}
+
+func TestRanksPerNodePacking(t *testing.T) {
+	m := Skylake()
+	if got := m.RanksPerNode(8); got != 8 {
+		t.Fatalf("RanksPerNode(8) = %d", got)
+	}
+	if got := m.RanksPerNode(729); got != 36 {
+		t.Fatalf("RanksPerNode(729) = %d, want 36", got)
+	}
+}
+
+func TestMeasureProducesProfiles(t *testing.T) {
+	spec := apps.LULESH()
+	r := NewRunner(spec)
+	cfg := apps.LULESHDefaults()
+	cfg["p"] = 27
+	cfg["size"] = 25
+	cfg["iters"] = 50
+
+	prof, err := r.Measure(cfg, nil, 3, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.OverheadSeconds != 0 {
+		t.Fatalf("uninstrumented overhead = %g, want 0", prof.OverheadSeconds)
+	}
+	if len(prof.FuncSeconds["CalcForceForNodes"]) != 3 {
+		t.Fatal("wrong repeat count")
+	}
+	if prof.BaseSeconds <= 0 {
+		t.Fatal("no base time")
+	}
+	// MPI functions with calls must be measured too.
+	if _, ok := prof.FuncSeconds["MPI_Allreduce"]; !ok {
+		t.Fatal("MPI function missing from profile")
+	}
+}
+
+func TestFullInstrumentationDwarfsTaintSet(t *testing.T) {
+	spec := apps.LULESH()
+	r := NewRunner(spec)
+	cfg := apps.LULESHDefaults()
+	cfg["p"] = 64
+	cfg["size"] = 30
+	cfg["iters"] = 100
+
+	full := make(map[string]bool)
+	for _, f := range spec.Funcs {
+		full[f.Name] = true
+	}
+	small := map[string]bool{"main": true, "CalcQForElems": true}
+
+	pf, err := r.Measure(cfg, full, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := r.Measure(cfg, small, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.OverheadSeconds < 50*ps.OverheadSeconds {
+		t.Fatalf("full overhead %gs vs selective %gs: getter storm missing",
+			pf.OverheadSeconds, ps.OverheadSeconds)
+	}
+}
+
+func TestSkewAppliesOnlyUnderHeavyInstrumentation(t *testing.T) {
+	spec := apps.LULESH()
+	r := NewRunner(spec)
+	cfg := apps.LULESHDefaults()
+	cfg["p"] = 729
+	cfg["size"] = 30
+	cfg["iters"] = 500
+
+	full := make(map[string]bool)
+	for _, f := range spec.Funcs {
+		full[f.Name] = true
+	}
+	taint := map[string]bool{"CalcQForElems": true}
+
+	pf, err := r.Measure(cfg, full, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := r.Measure(cfg, taint, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := pf.FuncSeconds["CalcQForElems"][0]
+	tt := pt.FuncSeconds["CalcQForElems"][0]
+	if tf < 2*tt {
+		t.Fatalf("full-instr time %gs vs filtered %gs: intrusion invisible", tf, tt)
+	}
+}
+
+func TestContentionAffectsMeasurements(t *testing.T) {
+	spec := apps.LULESH()
+	r := NewRunner(spec)
+	cfg := apps.LULESHDefaults()
+	cfg["p"] = 64
+	cfg["size"] = 30
+	cfg["iters"] = 100
+
+	r.RanksPerNodeOverride = 2
+	lo, err := r.Measure(cfg, nil, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RanksPerNodeOverride = 18
+	hi, err := r.Measure(cfg, nil, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RanksPerNodeOverride = 0
+
+	a := lo.FuncSeconds["CalcQForElems"][0]
+	b := hi.FuncSeconds["CalcQForElems"][0]
+	if b <= a*1.1 {
+		t.Fatalf("no contention slowdown: %g -> %g", a, b)
+	}
+	// Ratio should be in the C1 regime (~1.5x for memory-bound kernels).
+	if b/a > 3 {
+		t.Fatalf("contention too strong: %gx", b/a)
+	}
+}
+
+func TestCoreHours(t *testing.T) {
+	spec := apps.LULESH()
+	r := NewRunner(spec)
+	cfg := apps.LULESHDefaults()
+	cfg["p"] = 27
+	cfg["size"] = 25
+	cfg["iters"] = 100
+
+	ch, err := r.CoreHours(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch <= 0 {
+		t.Fatal("core-hours must be positive")
+	}
+	full := make(map[string]bool)
+	for _, f := range spec.Funcs {
+		full[f.Name] = true
+	}
+	chFull, err := r.CoreHours(cfg, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chFull <= ch {
+		t.Fatal("instrumented run must cost more")
+	}
+}
+
+func TestReachesMPI(t *testing.T) {
+	spec := apps.LULESH()
+	m := reachesMPI(spec)
+	if !m["CalcQForElems"] {
+		t.Error("CalcQForElems reaches MPI via CommSBN")
+	}
+	if !m["main"] {
+		t.Error("main reaches MPI")
+	}
+	if m["Domain_get000"] {
+		t.Error("getter does not reach MPI")
+	}
+	if math.MaxInt32 < len(m) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+var (
+	luleshReport *Report
+	milcReport   *Report
+)
+
+func getLULESH(t *testing.T) *Report {
+	t.Helper()
+	if luleshReport == nil {
+		r, err := Analyze(apps.LULESH(), apps.LULESHTaintConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		luleshReport = r
+	}
+	return luleshReport
+}
+
+func getMILC(t *testing.T) *Report {
+	t.Helper()
+	if milcReport == nil {
+		r, err := Analyze(apps.MILC(), apps.MILCTaintConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		milcReport = r
+	}
+	return milcReport
+}
+
+func TestLULESHCensusMatchesTable2(t *testing.T) {
+	r := getLULESH(t)
+	c := r.Census([]string{"p", "size"})
+
+	if c.FunctionsTotal != 356 {
+		t.Errorf("functions total = %d, want 356", c.FunctionsTotal)
+	}
+	if c.MPIFunctions != 7 {
+		t.Errorf("MPI functions = %d, want 7", c.MPIFunctions)
+	}
+	if c.CommRoutines != 2 {
+		t.Errorf("comm routines = %d, want 2", c.CommRoutines)
+	}
+	// Paper: 296 statically, 11 dynamically, 40 kernels. Our construction
+	// targets the same partition.
+	if c.PrunedStatically < 290 || c.PrunedStatically > 300 {
+		t.Errorf("pruned statically = %d, want ~296", c.PrunedStatically)
+	}
+	if c.PrunedDynamically < 9 || c.PrunedDynamically > 13 {
+		t.Errorf("pruned dynamically = %d, want ~11", c.PrunedDynamically)
+	}
+	if c.Kernels < 38 || c.Kernels > 42 {
+		t.Errorf("kernels = %d, want ~40", c.Kernels)
+	}
+	// Paper: 86.2% of functions constant w.r.t. the parameters.
+	if c.PercentConstant < 83 || c.PercentConstant > 90 {
+		t.Errorf("constant share = %.1f%%, want ~86.2%%", c.PercentConstant)
+	}
+	if c.LoopsPrunedStatic != 52 {
+		t.Errorf("static-constant loops = %d, want 52", c.LoopsPrunedStatic)
+	}
+	if c.LoopsRelevant < 72 || c.LoopsRelevant > 84 {
+		t.Errorf("relevant loops = %d, want ~78", c.LoopsRelevant)
+	}
+}
+
+func TestMILCCensusMatchesTable2(t *testing.T) {
+	r := getMILC(t)
+	c := r.Census([]string{"p", "size"})
+
+	if c.FunctionsTotal != 629 {
+		t.Errorf("functions total = %d, want 629", c.FunctionsTotal)
+	}
+	if c.MPIFunctions != 8 {
+		t.Errorf("MPI functions = %d, want 8", c.MPIFunctions)
+	}
+	if c.CommRoutines != 13 {
+		t.Errorf("comm routines = %d, want 13", c.CommRoutines)
+	}
+	if c.PrunedStatically < 358 || c.PrunedStatically > 370 {
+		t.Errorf("pruned statically = %d, want ~364", c.PrunedStatically)
+	}
+	if c.PrunedDynamically < 182 || c.PrunedDynamically > 194 {
+		t.Errorf("pruned dynamically = %d, want ~188", c.PrunedDynamically)
+	}
+	if c.Kernels < 52 || c.Kernels > 58 {
+		t.Errorf("kernels = %d, want ~56", c.Kernels)
+	}
+	if c.PercentConstant < 84 || c.PercentConstant > 92 {
+		t.Errorf("constant share = %.1f%%, want ~87.7%%", c.PercentConstant)
+	}
+	if c.LoopsPrunedStatic != 96 {
+		t.Errorf("static-constant loops = %d, want 96", c.LoopsPrunedStatic)
+	}
+	if c.LoopsRelevant < 185 || c.LoopsRelevant > 205 {
+		t.Errorf("relevant loops = %d, want ~196", c.LoopsRelevant)
+	}
+}
+
+func TestLULESHPriors(t *testing.T) {
+	r := getLULESH(t)
+	model := []string{"p", "size"}
+
+	// Getters must be pinned constant.
+	pr := r.Prior("Domain_get000", model)
+	if !pr.ForceConstant {
+		t.Error("getter prior not constant")
+	}
+	// Kernels depend on size but not p.
+	pr = r.Prior("CalcForceForNodes", model)
+	if pr.ForceConstant || !pr.Allowed["size"] || pr.Allowed["p"] {
+		t.Errorf("kernel prior = %+v, want size only", pr)
+	}
+	// CalcQForElems reaches MPI through CommSBN: the function itself only
+	// sees size; the comm wrapper carries p.
+	pr = r.Prior("CommSBN", model)
+	if pr.ForceConstant || !pr.Allowed["p"] {
+		t.Errorf("CommSBN prior = %+v, want p allowed", pr)
+	}
+}
+
+func TestLULESHRelevantSetSmall(t *testing.T) {
+	r := getLULESH(t)
+	// The taint filter instruments only the ~49 relevant functions out of
+	// 349 spec functions.
+	if len(r.Relevant) < 40 || len(r.Relevant) > 60 {
+		t.Errorf("relevant set = %d functions, want ~49", len(r.Relevant))
+	}
+	if !r.Relevant["main"] {
+		t.Error("main must always be instrumented")
+	}
+	if r.Relevant["Domain_get000"] {
+		t.Error("getter must not be relevant")
+	}
+}
+
+func TestLULESHCoverageTable3Shape(t *testing.T) {
+	r := getLULESH(t)
+	rows, unionF, unionL := r.Coverage([]string{"p", "size"})
+	byParam := make(map[string]ParameterCoverage)
+	for _, row := range rows {
+		byParam[row.Param] = row
+	}
+	// Table 3 shape: size affects ~40 functions / ~78 loops; p affects few
+	// functions' loops (comm) but many through MPI; iters 4 functions.
+	if got := byParam["size"].Functions; got < 36 || got > 46 {
+		t.Errorf("size functions = %d, want ~40", got)
+	}
+	if got := byParam["size"].Loops; got < 72 || got > 84 {
+		t.Errorf("size loops = %d, want ~78", got)
+	}
+	if got := byParam["iters"].Functions; got != 4 {
+		t.Errorf("iters functions = %d, want 4", got)
+	}
+	if got := byParam["iters"].Loops; got != 4 {
+		t.Errorf("iters loops = %d, want 4", got)
+	}
+	if got := byParam["cost"].Functions; got != 2 {
+		t.Errorf("cost functions = %d, want 2", got)
+	}
+	if got := byParam["regions"].Functions; got != 13 {
+		t.Errorf("regions functions = %d, want 13", got)
+	}
+	if got := byParam["balance"].Functions; got != 9 {
+		t.Errorf("balance functions = %d, want 9", got)
+	}
+	if unionF < 38 || unionF > 48 {
+		t.Errorf("p-or-size functions = %d, want ~40-43", unionF)
+	}
+	if unionL < 72 || unionL > 86 {
+		t.Errorf("p-or-size loops = %d, want ~78", unionL)
+	}
+}
+
+func TestMILCCoverageMatchesGroundTruth(t *testing.T) {
+	r := getMILC(t)
+	rows, unionF, unionL := r.Coverage([]string{"p", "size"})
+	byParam := make(map[string]ParameterCoverage)
+	for _, row := range rows {
+		byParam[row.Param] = row
+	}
+	// Site loops couple size and p: both cover most kernels (paper: p 54,
+	// size 53 functions; 187/161 loops).
+	if got := byParam["size"].Functions; got < 48 || got > 58 {
+		t.Errorf("size functions = %d, want ~53", got)
+	}
+	if got := byParam["p"].Functions; got < 50 || got > 72 {
+		t.Errorf("p functions = %d, want ~54+comm", got)
+	}
+	if got := byParam["size"].Loops; got < 150 || got > 175 {
+		t.Errorf("size loops = %d, want ~161", got)
+	}
+	if got := byParam["p"].Loops; got < 175 || got > 200 {
+		t.Errorf("p loops = %d, want ~187", got)
+	}
+	// Physics parameters must be nearly invisible (mass 1 / u0 4 functions).
+	if got := byParam["mass"].Functions; got != 1 {
+		t.Errorf("mass functions = %d, want 1", got)
+	}
+	if got := byParam["u0"].Functions; got != 4 {
+		t.Errorf("u0 functions = %d, want 4", got)
+	}
+	if unionF < 55 || unionF > 75 {
+		t.Errorf("p-or-size functions = %d, want ~56-69", unionF)
+	}
+	if unionL < 185 || unionL > 205 {
+		t.Errorf("p-or-size loops = %d, want ~196", unionL)
+	}
+}
+
+func TestStructureMultiplicativeForSiteLoops(t *testing.T) {
+	r := getMILC(t)
+	st := r.Structure("load_fatlinks")
+	if !st.Multiplicative("p", "size") {
+		t.Errorf("site-loop structure %v must couple p and size", st)
+	}
+}
+
+func TestStructureIters(t *testing.T) {
+	r := getLULESH(t)
+	st := r.Structure("main")
+	// iters multiplies the whole timestep: it must couple multiplicatively
+	// with size (the A2 observation).
+	if !st.Multiplicative("iters", "size") {
+		t.Errorf("main structure %v must couple iters with size", st)
+	}
+}
+
+func TestAnalyzeRejectsMissingP(t *testing.T) {
+	spec := apps.LULESH()
+	cfgv := apps.LULESHTaintConfig()
+	delete(cfgv, "p")
+	if _, err := Analyze(spec, cfgv); err == nil {
+		t.Fatal("expected error for missing p")
+	}
+}
+
+func TestRecursionWarningsEmpty(t *testing.T) {
+	r := getLULESH(t)
+	if len(r.Volumes.RecursionWarnings) != 0 {
+		t.Errorf("unexpected recursion warnings: %v", r.Volumes.RecursionWarnings)
+	}
+}
+
+func TestDependsOnAny(t *testing.T) {
+	r := getLULESH(t)
+	if !r.DependsOnAny("CalcForceForNodes", []string{"size"}) {
+		t.Error("kernel must depend on size")
+	}
+	if r.DependsOnAny("Domain_get000", []string{"size", "p"}) {
+		t.Error("getter must not depend on anything")
+	}
+}

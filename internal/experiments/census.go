@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table2Result reproduces the two-phase identification census.
+type Table2Result struct {
+	LULESH core.Census
+	MILC   core.Census
+}
+
+// Table2 runs the census of both applications.
+func Table2(c *Context) *Table2Result {
+	return &Table2Result{
+		LULESH: c.LULESH.Census(c.ModelParams),
+		MILC:   c.MILC.Census(c.ModelParams),
+	}
+}
+
+// String renders the paper-vs-measured comparison.
+func (t *Table2Result) String() string {
+	tb := &table{title: "Table 2 — Two-phase identification census"}
+	add := func(app string, paper [9]int, c core.Census) {
+		tb.add(app+": functions", fmt.Sprint(paper[0]), fmt.Sprint(c.FunctionsTotal))
+		tb.add(app+": pruned statically", fmt.Sprint(paper[1]), fmt.Sprint(c.PrunedStatically))
+		tb.add(app+": pruned dynamically", fmt.Sprint(paper[2]), fmt.Sprint(c.PrunedDynamically))
+		tb.add(app+": kernels", fmt.Sprint(paper[3]), fmt.Sprint(c.Kernels))
+		tb.add(app+": comm routines", fmt.Sprint(paper[4]), fmt.Sprint(c.CommRoutines))
+		tb.add(app+": MPI functions", fmt.Sprint(paper[5]), fmt.Sprint(c.MPIFunctions))
+		tb.add(app+": loops", fmt.Sprint(paper[6]), fmt.Sprint(c.LoopsTotal))
+		tb.add(app+": loops pruned statically", fmt.Sprint(paper[7]), fmt.Sprint(c.LoopsPrunedStatic))
+		tb.add(app+": relevant loops (p,size)", fmt.Sprint(paper[8]), fmt.Sprint(c.LoopsRelevant))
+		tb.add(app+": constant functions", "", fmt.Sprintf("%.1f%%", c.PercentConstant))
+	}
+	add("LULESH", [9]int{356, 296, 11, 40, 2, 7, 275, 52, 78}, t.LULESH)
+	add("MILC", [9]int{629, 364, 188, 56, 13, 8, 874, 96, 196}, t.MILC)
+	return tb.String()
+}
+
+// Table3Result reproduces the per-parameter coverage table.
+type Table3Result struct {
+	App        string
+	Rows       []core.ParameterCoverage
+	UnionFuncs int
+	UnionLoops int
+}
+
+// Table3 computes coverage for both applications.
+func Table3(c *Context) []*Table3Result {
+	var out []*Table3Result
+	for _, it := range []struct {
+		name string
+		rep  *core.Report
+	}{{"LULESH", c.LULESH}, {"MILC", c.MILC}} {
+		rows, uf, ul := it.rep.Coverage(c.ModelParams)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Param < rows[j].Param })
+		out = append(out, &Table3Result{App: it.name, Rows: rows, UnionFuncs: uf, UnionLoops: ul})
+	}
+	return out
+}
+
+// String renders one application's coverage rows.
+func (t *Table3Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## Table 3 — %s parameter coverage\n\n", t.App)
+	sb.WriteString("| Parameter | Functions | Loops |\n|---|---|---|\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "| %s | %d | %d |\n", r.Param, r.Functions, r.Loops)
+	}
+	fmt.Fprintf(&sb, "| p OR size | %d | %d |\n", t.UnionFuncs, t.UnionLoops)
+	return sb.String()
+}

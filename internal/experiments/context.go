@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): the pruning census (Table 2), parameter coverage
+// (Table 3), instrumentation overhead (Figures 3-4), experiment-design
+// reduction (A2), core-hour costs (A3), noise resilience (B1),
+// instrumentation intrusion (B2), hardware-contention detection (Figure 5 /
+// C1), and experiment-design validation (C2). Each experiment returns a
+// result struct with a String renderer; cmd/experiments assembles them into
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Context shares the expensive analyses (taint runs) across experiments.
+type Context struct {
+	LULESH *core.Report
+	MILC   *core.Report
+
+	LRunner *cluster.Runner
+	MRunner *cluster.Runner
+
+	// ModelParams is the two-parameter modeling choice of the paper.
+	ModelParams []string
+}
+
+// NewContext runs both taint analyses at the paper's configurations.
+func NewContext() (*Context, error) {
+	lspec := apps.LULESH()
+	lrep, err := core.Analyze(lspec, apps.LULESHTaintConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: lulesh analysis: %w", err)
+	}
+	mspec := apps.MILC()
+	mrep, err := core.Analyze(mspec, apps.MILCTaintConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: milc analysis: %w", err)
+	}
+	return &Context{
+		LULESH:      lrep,
+		MILC:        mrep,
+		LRunner:     cluster.NewRunner(lspec),
+		MRunner:     cluster.NewRunner(mspec),
+		ModelParams: []string{"p", "size"},
+	}, nil
+}
+
+// luleshSweep is the 25-point modeling design of Table 2.
+func (c *Context) luleshSweep() []apps.Config {
+	ps, sizes := apps.LULESHModelValues()
+	defaults := apps.LULESHDefaults()
+	return crossWithP(defaults, ps, sizes)
+}
+
+func (c *Context) milcSweep() []apps.Config {
+	ps, sizes := apps.MILCModelValues()
+	defaults := apps.MILCDefaults()
+	return crossWithP(defaults, ps, sizes)
+}
+
+func crossWithP(defaults apps.Config, ps, sizes []float64) []apps.Config {
+	var out []apps.Config
+	for _, p := range ps {
+		for _, s := range sizes {
+			cfg := defaults.Clone()
+			cfg["p"] = p
+			cfg["size"] = s
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// table renders rows of label/paper/measured triples.
+type table struct {
+	title string
+	rows  [][3]string
+}
+
+func (t *table) add(label, paper, measured string) {
+	t.rows = append(t.rows, [3]string{label, paper, measured})
+}
+
+func (t *table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s\n\n", t.title)
+	sb.WriteString("| Quantity | Paper | Measured |\n|---|---|---|\n")
+	for _, r := range t.rows {
+		fmt.Fprintf(&sb, "| %s | %s | %s |\n", r[0], r[1], r[2])
+	}
+	return sb.String()
+}
+
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-12
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}

@@ -1,0 +1,173 @@
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one measured configuration: parameter values and the repeated
+// measurements of the metric (execution time, visits, ...).
+type Point struct {
+	Params map[string]float64
+	Values []float64
+}
+
+// Mean returns the average of the repeats.
+func (p Point) Mean() float64 {
+	if len(p.Values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range p.Values {
+		s += v
+	}
+	return s / float64(len(p.Values))
+}
+
+// CoV returns the coefficient of variation of the repeats (stddev/mean);
+// zero-mean points return +Inf so they fail any noise filter.
+func (p Point) CoV() float64 {
+	m := p.Mean()
+	if len(p.Values) < 2 {
+		return 0
+	}
+	if m == 0 {
+		return math.Inf(1)
+	}
+	ss := 0.0
+	for _, v := range p.Values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(p.Values)-1)) / math.Abs(m)
+}
+
+// Dataset is a set of measurement points over named parameters.
+type Dataset struct {
+	ParamNames []string
+	Points     []Point
+}
+
+// NewDataset declares the parameter names of a measurement set.
+func NewDataset(params ...string) *Dataset {
+	ps := append([]string(nil), params...)
+	sort.Strings(ps)
+	return &Dataset{ParamNames: ps}
+}
+
+// Add appends one configuration with its repeated measurements.
+func (d *Dataset) Add(params map[string]float64, values ...float64) {
+	cp := make(map[string]float64, len(params))
+	for k, v := range params {
+		cp[k] = v
+	}
+	d.Points = append(d.Points, Point{Params: cp, Values: append([]float64(nil), values...)})
+}
+
+// MaxCoV returns the largest coefficient of variation across points; the
+// paper excludes functions whose data exceeds 0.1 as too noisy (B1).
+func (d *Dataset) MaxCoV() float64 {
+	worst := 0.0
+	for _, p := range d.Points {
+		if c := p.CoV(); c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// NoiseCutoff is the coefficient-of-variation threshold above which the
+// paper considers measurements unreliable.
+const NoiseCutoff = 0.1
+
+// Reliable reports whether all points pass the CoV filter.
+func (d *Dataset) Reliable() bool { return d.MaxCoV() <= NoiseCutoff }
+
+// Validate checks that every point provides every declared parameter.
+func (d *Dataset) Validate() error {
+	if len(d.Points) == 0 {
+		return fmt.Errorf("extrap: empty dataset")
+	}
+	for i, p := range d.Points {
+		if len(p.Values) == 0 {
+			return fmt.Errorf("extrap: point %d has no measurements", i)
+		}
+		for _, name := range d.ParamNames {
+			if _, ok := p.Params[name]; !ok {
+				return fmt.Errorf("extrap: point %d missing parameter %q", i, name)
+			}
+		}
+	}
+	return nil
+}
+
+// values returns the per-point mean metric values.
+func (d *Dataset) values() []float64 {
+	out := make([]float64, len(d.Points))
+	for i, p := range d.Points {
+		out[i] = p.Mean()
+	}
+	return out
+}
+
+// distinct returns the sorted distinct values of parameter name.
+func (d *Dataset) distinct(name string) []float64 {
+	set := make(map[float64]bool)
+	for _, p := range d.Points {
+		set[p.Params[name]] = true
+	}
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// sliceFor extracts the single-parameter sweep of target: points where all
+// other parameters sit at their minimum value. This is the line of the
+// experiment design Extra-P's first heuristic models in isolation.
+func (d *Dataset) sliceFor(target string) *Dataset {
+	mins := make(map[string]float64)
+	for _, name := range d.ParamNames {
+		if name == target {
+			continue
+		}
+		vals := d.distinct(name)
+		if len(vals) > 0 {
+			mins[name] = vals[0]
+		}
+	}
+	out := NewDataset(target)
+	for _, p := range d.Points {
+		match := true
+		for name, want := range mins {
+			if p.Params[name] != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			out.Add(map[string]float64{target: p.Params[target]}, p.Values...)
+		}
+	}
+	return out
+}
+
+// smape computes the symmetric mean absolute percentage error between
+// predictions and actual values in [0, 2].
+func smape(pred, actual []float64) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		den := math.Abs(pred[i]) + math.Abs(actual[i])
+		if den == 0 {
+			continue
+		}
+		s += 2 * math.Abs(pred[i]-actual[i]) / den
+	}
+	return s / float64(len(pred))
+}

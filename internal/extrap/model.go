@@ -1,0 +1,247 @@
+// Package extrap reimplements the Extra-P empirical performance modeler
+// used as the black-box half of Perf-Taint: the performance model normal
+// form (PMNF, Equation 1), its default search space, least-squares
+// hypothesis fitting, the single-parameter model search, and the
+// multi-parameter heuristic that combines the best single-parameter models
+// (Calotoiu et al.). Model selection uses leave-one-out cross-validation of
+// the symmetric mean absolute percentage error, which penalizes the
+// overfitting the paper's Section 4.5 discusses.
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PowLog is one PMNF factor x^I * log2(x)^J for a single parameter.
+type PowLog struct {
+	I float64
+	J float64
+}
+
+// IsUnit reports the trivial factor x^0*log^0 == 1.
+func (pl PowLog) IsUnit() bool { return pl.I == 0 && pl.J == 0 }
+
+// Eval computes x^I * log2(x)^J; x < 1 is clamped to 1 so logs stay finite
+// on degenerate configurations.
+func (pl PowLog) Eval(x float64) float64 {
+	if x < 1 {
+		x = 1
+	}
+	v := math.Pow(x, pl.I)
+	if pl.J != 0 {
+		v *= math.Pow(math.Log2(x), pl.J)
+	}
+	return v
+}
+
+// String renders the factor for a named parameter.
+func (pl PowLog) String(param string) string {
+	var parts []string
+	if pl.I != 0 {
+		if pl.I == 1 {
+			parts = append(parts, param)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s^%.4g", param, pl.I))
+		}
+	}
+	if pl.J != 0 {
+		if pl.J == 1 {
+			parts = append(parts, fmt.Sprintf("log2(%s)", param))
+		} else {
+			parts = append(parts, fmt.Sprintf("log2(%s)^%.4g", param, pl.J))
+		}
+	}
+	if len(parts) == 0 {
+		return "1"
+	}
+	return strings.Join(parts, "*")
+}
+
+// Term is one PMNF summand: Coeff * prod_l x_l^{i_l} log^{j_l}(x_l).
+type Term struct {
+	Coeff   float64
+	Factors map[string]PowLog
+}
+
+// evalShape computes the term value without the coefficient.
+func (t Term) evalShape(params map[string]float64) float64 {
+	v := 1.0
+	for name, pl := range t.Factors {
+		x, ok := params[name]
+		if !ok {
+			// A parameter absent from the configuration contributes its
+			// clamped unit value; callers should not let this happen.
+			x = 1
+		}
+		v *= pl.Eval(x)
+	}
+	return v
+}
+
+// Params returns the parameter names used by the term, sorted.
+func (t Term) Params() []string {
+	out := make([]string, 0, len(t.Factors))
+	for n, pl := range t.Factors {
+		if !pl.IsUnit() {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the term.
+func (t Term) String() string {
+	names := make([]string, 0, len(t.Factors))
+	for n := range t.Factors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		if !t.Factors[n].IsUnit() {
+			parts = append(parts, t.Factors[n].String(n))
+		}
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("%.4g", t.Coeff)
+	}
+	return fmt.Sprintf("%.4g*%s", t.Coeff, strings.Join(parts, "*"))
+}
+
+// Model is a fitted PMNF instance: Constant + sum of Terms.
+type Model struct {
+	Constant float64
+	Terms    []Term
+
+	// Fit quality on the training data.
+	RSS   float64
+	SMAPE float64
+	// CV is the leave-one-out cross-validated SMAPE used for selection.
+	CV float64
+}
+
+// Eval computes the model prediction for one configuration.
+func (m *Model) Eval(params map[string]float64) float64 {
+	v := m.Constant
+	for _, t := range m.Terms {
+		v += t.Coeff * t.evalShape(params)
+	}
+	return v
+}
+
+// IsConstant reports whether the model has no parameter-dependent terms.
+func (m *Model) IsConstant() bool {
+	for _, t := range m.Terms {
+		if len(t.Params()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Params returns the sorted set of parameters used by the model.
+func (m *Model) Params() []string {
+	set := make(map[string]bool)
+	for _, t := range m.Terms {
+		for _, p := range t.Params() {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependsOn reports whether the model uses parameter name.
+func (m *Model) DependsOn(name string) bool {
+	for _, p := range m.Params() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the model in the paper's notation, e.g.
+// "2.4e-08*p^0.25*size^3 + 127".
+func (m *Model) String() string {
+	var parts []string
+	for _, t := range m.Terms {
+		parts = append(parts, t.String())
+	}
+	if m.Constant != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%.4g", m.Constant))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Multiplicative reports whether any term couples two or more parameters
+// (the B2 additive-vs-multiplicative distinction).
+func (m *Model) Multiplicative() bool {
+	for _, t := range m.Terms {
+		if len(t.Params()) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Space is the PMNF hypothesis search space.
+type Space struct {
+	// I is the set of rational polynomial exponents.
+	I []float64
+	// J is the set of logarithm exponents.
+	J []float64
+	// MaxTerms is n in Equation 1.
+	MaxTerms int
+}
+
+// DefaultSpace returns the configuration suggested by Ritter et al. and
+// quoted in the paper: n = 2, I = {0/4 .. 12/4 including thirds},
+// J = {0, 1, 2}.
+func DefaultSpace() Space {
+	return Space{
+		I: []float64{
+			0, 1.0 / 4, 1.0 / 3, 2.0 / 4, 2.0 / 3, 3.0 / 4, 1,
+			5.0 / 4, 4.0 / 3, 6.0 / 4, 5.0 / 3, 7.0 / 4, 2,
+			9.0 / 4, 10.0 / 4, 8.0 / 3, 11.0 / 4, 3,
+		},
+		J:        []float64{0, 1, 2},
+		MaxTerms: 2,
+	}
+}
+
+// Shapes enumerates all non-unit PowLog factors of the space.
+func (s Space) Shapes() []PowLog {
+	var out []PowLog
+	for _, i := range s.I {
+		for _, j := range s.J {
+			pl := PowLog{I: i, J: j}
+			if pl.IsUnit() {
+				continue
+			}
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+// HypothesisCount is the size of the single-parameter model search for
+// reporting purposes (the paper's 10^14 explosion discussion).
+func (s Space) HypothesisCount() int {
+	n := len(s.Shapes())
+	total := 0
+	comb := 1
+	for k := 1; k <= s.MaxTerms; k++ {
+		comb = comb * (n - k + 1) / k
+		total += comb
+	}
+	return total
+}

@@ -1,0 +1,234 @@
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prior is the white-box restriction Perf-Taint derives from the taint
+// analysis (Section 4.5): which parameters may appear in the model at all,
+// and which parameter combinations may form multiplicative terms.
+type Prior struct {
+	// Allowed restricts the parameter set; nil allows every parameter.
+	Allowed map[string]bool
+	// MulOK reports whether the given parameter group may appear in a
+	// single product term; nil allows every combination.
+	MulOK func(group []string) bool
+	// ForceConstant pins the model to a constant (functions whose loops
+	// carry no parameter dependence).
+	ForceConstant bool
+}
+
+// allowAll is the black-box prior: everything permitted.
+func allowAll() *Prior { return &Prior{} }
+
+func (p *Prior) allows(name string) bool {
+	if p.Allowed == nil {
+		return true
+	}
+	return p.Allowed[name]
+}
+
+func (p *Prior) mulOK(group []string) bool {
+	if p.MulOK == nil {
+		return true
+	}
+	return p.MulOK(group)
+}
+
+// ModelMulti fits the best multi-parameter PMNF model over the full
+// dataset. Following Extra-P's multi-parameter heuristic, the search space
+// is reduced to combinations of the best single-parameter models: for each
+// active parameter the best one-term shape is determined on that
+// parameter's sweep, and hypotheses combine those shapes additively and
+// multiplicatively. prior may be nil for pure black-box modeling.
+func ModelMulti(d *Dataset, opt Options, prior *Prior) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Space.MaxTerms == 0 {
+		opt = DefaultOptions()
+	}
+	if prior == nil {
+		prior = allowAll()
+	}
+
+	constModel, err := fitHypothesis(d, nil)
+	if err != nil {
+		return nil, fmt.Errorf("extrap: constant fit failed: %w", err)
+	}
+	if prior.ForceConstant {
+		constModel.CV = crossValidate(d, nil)
+		return constModel, nil
+	}
+
+	// Active parameters: at least two distinct values and prior-allowed.
+	var active []string
+	for _, name := range d.ParamNames {
+		if len(d.distinct(name)) >= 2 && prior.allows(name) {
+			active = append(active, name)
+		}
+	}
+	sort.Strings(active)
+	if len(active) == 0 {
+		constModel.CV = crossValidate(d, nil)
+		return constModel, nil
+	}
+	if len(active) == 1 {
+		return modelRestricted(d, active, opt, prior)
+	}
+	return modelRestricted(d, active, opt, prior)
+}
+
+// bestShape finds the strongest single-term shape for one parameter using
+// its dedicated sweep (the first multi-parameter heuristic of Extra-P).
+func bestShape(d *Dataset, param string, opt Options) (PowLog, bool) {
+	slice := d.sliceFor(param)
+	if len(slice.Points) < 3 {
+		return PowLog{}, false
+	}
+	bestScore := math.Inf(1)
+	var best PowLog
+	found := false
+	for _, pl := range opt.Space.Shapes() {
+		shapes := []Term{{Factors: map[string]PowLog{param: pl}}}
+		m, err := fitHypothesis(slice, shapes)
+		if err != nil {
+			continue
+		}
+		s := opt.score(slice, shapes, m)
+		if s < bestScore {
+			bestScore, best, found = s, pl, true
+		}
+	}
+	return best, found
+}
+
+// modelRestricted runs the combination search over the given parameters.
+func modelRestricted(d *Dataset, params []string, opt Options, prior *Prior) (*Model, error) {
+	shapes := make(map[string]PowLog, len(params))
+	for _, p := range params {
+		if pl, ok := bestShape(d, p, opt); ok {
+			shapes[p] = pl
+		}
+	}
+	// Build the candidate term pool: one single term per parameter plus
+	// product terms for each prior-allowed group of 2..3 parameters.
+	var pool []Term
+	var have []string
+	for _, p := range params {
+		if pl, ok := shapes[p]; ok {
+			pool = append(pool, Term{Factors: map[string]PowLog{p: pl}})
+			have = append(have, p)
+		}
+	}
+	for _, group := range combinations(have, 2) {
+		if prior.mulOK(group) {
+			pool = append(pool, productTerm(shapes, group))
+		}
+	}
+	if len(have) >= 3 {
+		for _, group := range combinations(have, 3) {
+			if prior.mulOK(group) {
+				pool = append(pool, productTerm(shapes, group))
+			}
+		}
+	}
+
+	constModel, err := fitHypothesis(d, nil)
+	if err != nil {
+		return nil, err
+	}
+	best := scored{model: constModel, score: opt.score(d, nil, constModel)}
+	bestComplexity := 0
+
+	maxTerms := opt.Space.MaxTerms
+	if maxTerms < 1 {
+		maxTerms = 2
+	}
+	var hyps [][]Term
+	for i := range pool {
+		hyps = append(hyps, []Term{pool[i]})
+	}
+	if maxTerms >= 2 {
+		for i := range pool {
+			for j := i + 1; j < len(pool); j++ {
+				hyps = append(hyps, []Term{pool[i], pool[j]})
+			}
+		}
+	}
+	if maxTerms >= 3 {
+		for i := range pool {
+			for j := i + 1; j < len(pool); j++ {
+				for k := j + 1; k < len(pool); k++ {
+					hyps = append(hyps, []Term{pool[i], pool[j], pool[k]})
+				}
+			}
+		}
+	}
+
+	for _, h := range hyps {
+		m, err := fitHypothesis(d, h)
+		if err != nil {
+			continue
+		}
+		s := opt.score(d, h, m)
+		c := complexity(h)
+		switch {
+		case improves(s, best.score, opt.MinImprovement):
+			best = scored{model: m, shapes: h, score: s}
+			bestComplexity = c
+		case c < bestComplexity && s <= best.score:
+			// Equal quality at lower complexity wins (Occam).
+			best = scored{model: m, shapes: h, score: s}
+			bestComplexity = c
+		}
+	}
+	best.model.CV = crossValidate(d, best.shapes)
+	return best.model, nil
+}
+
+// complexity orders hypotheses: more terms and more coupled parameters are
+// more complex.
+func complexity(shapes []Term) int {
+	c := 0
+	for _, t := range shapes {
+		c += 1 + len(t.Params())
+	}
+	return c
+}
+
+// productTerm multiplies the per-parameter shapes of group into one term.
+func productTerm(shapes map[string]PowLog, group []string) Term {
+	f := make(map[string]PowLog, len(group))
+	for _, p := range group {
+		f[p] = shapes[p]
+	}
+	return Term{Factors: f}
+}
+
+// combinations returns all k-subsets of items preserving order.
+func combinations(items []string, k int) [][]string {
+	var out [][]string
+	var rec func(start int, cur []string)
+	rec = func(start int, cur []string) {
+		if len(cur) == k {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i := start; i < len(items); i++ {
+			rec(i+1, append(cur, items[i]))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// GroupKey canonicalizes a parameter group for prior lookups.
+func GroupKey(group []string) string {
+	g := append([]string(nil), group...)
+	sort.Strings(g)
+	return strings.Join(g, ",")
+}

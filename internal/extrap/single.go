@@ -1,0 +1,140 @@
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Selection chooses how competing hypotheses are ranked.
+type Selection int
+
+// Selection policies. SelectTraining mirrors classic Extra-P behaviour of
+// minimizing the fit error on the training data — fast, but prone to the
+// overfitting on noisy constants the paper highlights. SelectCV ranks by
+// leave-one-out cross-validation, which is more robust but cannot replace
+// the structural prior (noise can still masquerade as parameter effects).
+const (
+	SelectTraining Selection = iota
+	SelectCV
+)
+
+// Options configures the model search.
+type Options struct {
+	Space Space
+	// Selection policy; defaults to SelectTraining (Extra-P's behaviour).
+	Selection Selection
+	// MinImprovement is the relative score improvement a more complex
+	// hypothesis must deliver over a simpler one to be accepted.
+	MinImprovement float64
+	// CandidateTerms bounds how many best single-term hypotheses seed the
+	// two-term search (Extra-P's search-space reduction heuristic).
+	CandidateTerms int
+}
+
+// DefaultOptions returns the configuration used across the evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Space:          DefaultSpace(),
+		Selection:      SelectTraining,
+		MinImprovement: 0.01,
+		CandidateTerms: 12,
+	}
+}
+
+func (o Options) score(d *Dataset, shapes []Term, m *Model) float64 {
+	if o.Selection == SelectCV {
+		return crossValidate(d, shapes)
+	}
+	return m.SMAPE
+}
+
+// scored pairs a fitted hypothesis with its selection score.
+type scored struct {
+	model  *Model
+	shapes []Term
+	score  float64
+}
+
+// ModelSingle fits the best PMNF model in one parameter. The search follows
+// Extra-P: fit the constant hypothesis, then every one-term hypothesis,
+// then two-term combinations seeded by the best one-term candidates, and
+// keep additional complexity only when it buys at least MinImprovement.
+func ModelSingle(d *Dataset, param string, opt Options) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Space.MaxTerms == 0 {
+		opt = DefaultOptions()
+	}
+
+	constModel, err := fitHypothesis(d, nil)
+	if err != nil {
+		return nil, fmt.Errorf("extrap: constant fit failed: %w", err)
+	}
+	constScore := opt.score(d, nil, constModel)
+	constModel.CV = crossValidate(d, nil)
+
+	best := scored{model: constModel, score: constScore}
+
+	var oneTerm []scored
+	for _, pl := range opt.Space.Shapes() {
+		shapes := []Term{{Factors: map[string]PowLog{param: pl}}}
+		m, err := fitHypothesis(d, shapes)
+		if err != nil {
+			continue
+		}
+		oneTerm = append(oneTerm, scored{model: m, shapes: shapes, score: opt.score(d, shapes, m)})
+	}
+	sort.Slice(oneTerm, func(i, j int) bool { return oneTerm[i].score < oneTerm[j].score })
+
+	if len(oneTerm) > 0 && improves(oneTerm[0].score, best.score, opt.MinImprovement) {
+		best = oneTerm[0]
+	}
+
+	if opt.Space.MaxTerms >= 2 {
+		k := opt.CandidateTerms
+		if k <= 0 {
+			k = 3
+		}
+		if k > len(oneTerm) {
+			k = len(oneTerm)
+		}
+		var bestTwo scored
+		bestTwo.score = math.Inf(1)
+		for ci := 0; ci < k; ci++ {
+			first := oneTerm[ci].shapes[0]
+			for _, pl := range opt.Space.Shapes() {
+				if pl == first.Factors[param] {
+					continue
+				}
+				shapes := []Term{first, {Factors: map[string]PowLog{param: pl}}}
+				m, err := fitHypothesis(d, shapes)
+				if err != nil {
+					continue
+				}
+				s := opt.score(d, shapes, m)
+				if s < bestTwo.score {
+					bestTwo = scored{model: m, shapes: shapes, score: s}
+				}
+			}
+		}
+		if bestTwo.model != nil && improves(bestTwo.score, best.score, opt.MinImprovement) {
+			best = bestTwo
+		}
+	}
+
+	best.model.CV = crossValidate(d, best.shapes)
+	return best.model, nil
+}
+
+// improves reports whether candidate beats incumbent by the relative margin.
+func improves(candidate, incumbent, margin float64) bool {
+	if math.IsInf(candidate, 1) {
+		return false
+	}
+	if incumbent == 0 {
+		return false
+	}
+	return candidate < incumbent*(1-margin)
+}

@@ -1,0 +1,577 @@
+// Package interp executes ir modules. It is the dynamic substrate of
+// Perf-Taint: when a taint engine is attached, every instruction propagates
+// shadow labels from operands to results (data flow), conditional branches
+// with tainted conditions open control-flow taint scopes bounded by the
+// branch's immediate post-dominator, loop exit branches act as taint sinks,
+// and loop back edges are counted. A tracer hook observes function enter and
+// exit events and abstract work, which the measurement substrate uses to
+// model instrumentation intrusion.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/taint"
+)
+
+// Value is the machine word; the IR is integer-only, which suffices for
+// performance modeling where only loop bounds influence the metrics.
+type Value = int64
+
+// ErrFuel is returned when execution exceeds the instruction budget.
+var ErrFuel = errors.New("interp: fuel exhausted")
+
+// Tracer observes execution events. Implementations must be cheap; the
+// measurement substrate uses them to derive call counts and work volumes.
+type Tracer interface {
+	Enter(fn, callPath string)
+	Exit(fn, callPath string)
+	Work(fn string, units int64)
+}
+
+// ExternCall carries the state visible to an extern (library) function.
+type ExternCall struct {
+	M         *Machine
+	Name      string
+	Args      []Value
+	ArgLabels []taint.Label
+	CallPath  string
+	// RetLabel is the taint label attached to the returned value; externs
+	// acting as taint sources set it.
+	RetLabel taint.Label
+}
+
+// Extern implements a library function outside the IR module (e.g. the MPI
+// routines provided through the library database).
+type Extern func(c *ExternCall) (Value, error)
+
+type funcInfo struct {
+	fn     *ir.Function
+	graph  *cfg.Graph
+	loops  *cfg.Forest
+	ipdom  []int
+	// exitsAt[block] lists loops for which the block terminator is an exit
+	// branch (the taint sinks).
+	exitsAt map[int][]*cfg.Loop
+	// latchOf[from<<32|to] is the loop whose back edge is from->to.
+	latchOf map[uint64]*cfg.Loop
+}
+
+// Machine executes functions of one module with optional taint and tracing.
+type Machine struct {
+	Mod     *ir.Module
+	Externs map[string]Extern
+	Taint   *taint.Engine
+	Tracer  Tracer
+	// Fuel bounds the number of executed instructions (0 = default 500M).
+	Fuel int64
+
+	heap      []Value
+	shadow    []taint.Label
+	globals   map[string]Value
+	infoCache map[string]*funcInfo
+	active    map[string]int // recursion detection
+	fuel      int64
+}
+
+// NewMachine prepares a machine for module m. Externs and Taint may be set
+// afterwards, before Run.
+func NewMachine(m *ir.Module) *Machine {
+	return &Machine{
+		Mod:       m,
+		Externs:   make(map[string]Extern),
+		infoCache: make(map[string]*funcInfo),
+	}
+}
+
+// Heap returns the current heap image (externs use it for message payloads).
+func (m *Machine) Heap() []Value { return m.heap }
+
+// LoadMem reads heap cell addr with its label.
+func (m *Machine) LoadMem(addr Value) (Value, taint.Label, error) {
+	if addr < 0 || addr >= Value(len(m.heap)) {
+		return 0, taint.None, fmt.Errorf("interp: load out of bounds at %d (heap %d)", addr, len(m.heap))
+	}
+	return m.heap[addr], m.shadow[addr], nil
+}
+
+// StoreMem writes heap cell addr with an explicit label (taint source path
+// for externs like MPI_Comm_size).
+func (m *Machine) StoreMem(addr, v Value, l taint.Label) error {
+	if addr < 0 || addr >= Value(len(m.heap)) {
+		return fmt.Errorf("interp: store out of bounds at %d (heap %d)", addr, len(m.heap))
+	}
+	m.heap[addr] = v
+	m.shadow[addr] = l
+	return nil
+}
+
+// GlobalAddr returns the base address of global name.
+func (m *Machine) GlobalAddr(name string) (Value, error) {
+	a, ok := m.globals[name]
+	if !ok {
+		return 0, fmt.Errorf("interp: unknown global %q", name)
+	}
+	return a, nil
+}
+
+func (m *Machine) alloc(size Value) (Value, error) {
+	if size < 0 {
+		return 0, fmt.Errorf("interp: negative allocation %d", size)
+	}
+	const maxHeap = 1 << 28
+	base := Value(len(m.heap))
+	if int64(len(m.heap))+size > maxHeap {
+		return 0, fmt.Errorf("interp: heap limit exceeded (%d cells)", int64(len(m.heap))+size)
+	}
+	m.heap = append(m.heap, make([]Value, size)...)
+	m.shadow = append(m.shadow, make([]taint.Label, size)...)
+	return base, nil
+}
+
+func (m *Machine) reset() error {
+	m.heap = m.heap[:0]
+	m.shadow = m.shadow[:0]
+	m.globals = make(map[string]Value)
+	m.active = make(map[string]int)
+	m.fuel = m.Fuel
+	if m.fuel == 0 {
+		m.fuel = 500_000_000
+	}
+	for _, g := range m.Mod.Globals {
+		base, err := m.alloc(g.Size)
+		if err != nil {
+			return err
+		}
+		m.globals[g.Name] = base
+	}
+	return nil
+}
+
+func (m *Machine) info(f *ir.Function) *funcInfo {
+	if fi, ok := m.infoCache[f.Name]; ok {
+		return fi
+	}
+	g := cfg.Build(f)
+	fi := &funcInfo{
+		fn:      f,
+		graph:   g,
+		loops:   cfg.FindLoops(g),
+		ipdom:   cfg.PostDominators(g),
+		exitsAt: make(map[int][]*cfg.Loop),
+		latchOf: make(map[uint64]*cfg.Loop),
+	}
+	for _, l := range fi.loops.Loops {
+		for _, e := range l.ExitBranches {
+			fi.exitsAt[e.Block] = append(fi.exitsAt[e.Block], l)
+		}
+		for _, latch := range l.Latches {
+			fi.latchOf[uint64(latch)<<32|uint64(uint32(l.Header))] = l
+		}
+	}
+	m.infoCache[f.Name] = fi
+	return fi
+}
+
+// Result of a completed run.
+type Result struct {
+	Value Value
+	Label taint.Label
+	// Instructions executed (fuel consumed).
+	Instructions int64
+}
+
+// Run executes entry with the given arguments; argLabels taints the formal
+// parameters (the paper's register_variable sources) and may be nil.
+func (m *Machine) Run(entry string, args []Value, argLabels []taint.Label) (*Result, error) {
+	fn, ok := m.Mod.Funcs[entry]
+	if !ok {
+		return nil, fmt.Errorf("interp: no function %q", entry)
+	}
+	if len(args) != fn.NumParams {
+		return nil, fmt.Errorf("interp: %q wants %d args, got %d", entry, fn.NumParams, len(args))
+	}
+	if err := m.reset(); err != nil {
+		return nil, err
+	}
+	startFuel := m.fuel
+	v, l, err := m.call(fn, args, argLabels, taint.None, entry)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Value: v, Label: l, Instructions: startFuel - m.fuel}, nil
+}
+
+// ctlScope is one open control-dependence region. Scopes opened by ordinary
+// branches (algorithm selection) taint every write until the branch's
+// immediate post-dominator. Scopes opened by loop-exit branches taint
+// memory stores and loop-carried registers — registers that existed before
+// the loop began — matching the paper's regElemSize example, where only
+// values accumulated across iterations depend on the iteration count, while
+// per-iteration temporaries (recomputed loop bounds, call results) do not.
+type ctlScope struct {
+	join     int
+	label    taint.Label
+	loopExit bool
+	openSeq  int
+}
+
+func (m *Machine) call(fn *ir.Function, args []Value, argLabels []taint.Label, ctlBase taint.Label, path string) (Value, taint.Label, error) {
+	if m.active[fn.Name] > 0 && m.Taint != nil {
+		m.Taint.WarnRecursion(fn.Name)
+	}
+	m.active[fn.Name]++
+	defer func() { m.active[fn.Name]-- }()
+
+	if m.Tracer != nil {
+		m.Tracer.Enter(fn.Name, path)
+		defer m.Tracer.Exit(fn.Name, path)
+	}
+
+	fi := m.info(fn)
+	regs := make([]Value, fn.NumRegs)
+	labels := make([]taint.Label, fn.NumRegs)
+	copy(regs, args)
+	if argLabels != nil {
+		copy(labels, argLabels)
+	}
+
+	tainting := m.Taint != nil
+	cflow := tainting && m.Taint.ControlFlow
+
+	// born[r] is the write sequence at which register r was first defined
+	// (-1 = not yet); parameters exist from sequence 0.
+	var born []int
+	writeSeq := 1
+	if cflow {
+		born = make([]int, fn.NumRegs)
+		for i := range born {
+			born[i] = -1
+		}
+		for i := 0; i < fn.NumParams; i++ {
+			born[i] = 0
+		}
+	}
+
+	var ctl []ctlScope
+
+	// regCtl computes the control label applicable to a register write:
+	// every non-loop scope, plus loop scopes for which the destination is
+	// loop-carried (born before the scope opened).
+	regCtl := func(dst ir.Reg) taint.Label {
+		l := taint.None
+		for _, s := range ctl {
+			if !s.loopExit || (born[dst] >= 0 && born[dst] < s.openSeq) {
+				l = m.Taint.Table.Union(l, s.label)
+			}
+		}
+		return l
+	}
+	// memCtl computes the control label applicable to a store: all scopes
+	// plus the control context inherited from the caller.
+	memCtl := func() taint.Label {
+		l := ctlBase
+		for _, s := range ctl {
+			l = m.Taint.Table.Union(l, s.label)
+		}
+		return l
+	}
+
+	writeLabel := func(dst ir.Reg, l taint.Label) {
+		if !tainting {
+			return
+		}
+		if cflow {
+			if c := regCtl(dst); c != taint.None {
+				l = m.Taint.Table.Union(l, c)
+			}
+			if born[dst] < 0 {
+				born[dst] = writeSeq
+			}
+			writeSeq++
+		}
+		labels[dst] = l
+	}
+
+	blockIdx := 0
+	prevBlock := -1
+	for {
+		// Close control scopes whose join block we reached.
+		if cflow && len(ctl) > 0 {
+			n := 0
+			for _, s := range ctl {
+				if s.join != blockIdx {
+					ctl[n] = s
+					n++
+				}
+			}
+			ctl = ctl[:n]
+		}
+		// Loop events: back edge and entry detection.
+		if tainting && prevBlock >= 0 {
+			if l, ok := fi.latchOf[uint64(prevBlock)<<32|uint64(uint32(blockIdx))]; ok {
+				m.Taint.RecordIteration(fn.Name, l.ID, l.Header, path)
+			} else if l := fi.loops.ByHeader[blockIdx]; l != nil && !l.Contains(prevBlock) {
+				m.Taint.RecordEntry(fn.Name, l.ID, l.Header, path)
+			}
+		}
+
+		blk := fn.Blocks[blockIdx]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			m.fuel--
+			if m.fuel < 0 {
+				return 0, taint.None, ErrFuel
+			}
+			switch in.Op {
+			case ir.OpConst:
+				regs[in.Dst] = in.Imm
+				writeLabel(in.Dst, taint.None)
+			case ir.OpMov:
+				regs[in.Dst] = regs[in.A]
+				writeLabel(in.Dst, labels[in.A])
+			case ir.OpNeg:
+				regs[in.Dst] = -regs[in.A]
+				writeLabel(in.Dst, labels[in.A])
+			case ir.OpNot:
+				if regs[in.A] == 0 {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+				writeLabel(in.Dst, labels[in.A])
+			case ir.OpLoad:
+				v, l, err := m.LoadMem(regs[in.A] + in.Imm)
+				if err != nil {
+					return 0, taint.None, fmt.Errorf("%s: %w", fn.Name, err)
+				}
+				regs[in.Dst] = v
+				if tainting {
+					// Address taint flows to the loaded value as well.
+					writeLabel(in.Dst, m.Taint.Table.Union(l, labels[in.A]))
+				}
+			case ir.OpStore:
+				addr := regs[in.A] + in.Imm
+				l := taint.None
+				if tainting {
+					l = m.Taint.Table.Union(labels[in.B], labels[in.A])
+					if cflow {
+						l = m.Taint.Table.Union(l, memCtl())
+					}
+				}
+				if err := m.StoreMem(addr, regs[in.B], l); err != nil {
+					return 0, taint.None, fmt.Errorf("%s: %w", fn.Name, err)
+				}
+			case ir.OpAlloc:
+				base, err := m.alloc(regs[in.A])
+				if err != nil {
+					return 0, taint.None, fmt.Errorf("%s: %w", fn.Name, err)
+				}
+				regs[in.Dst] = base
+				writeLabel(in.Dst, taint.None)
+			case ir.OpGlobal:
+				a, err := m.GlobalAddr(in.Sym)
+				if err != nil {
+					return 0, taint.None, fmt.Errorf("%s: %w", fn.Name, err)
+				}
+				regs[in.Dst] = a
+				writeLabel(in.Dst, taint.None)
+			case ir.OpCall:
+				childCtl := taint.None
+				if cflow {
+					childCtl = memCtl()
+				}
+				v, l, err := m.dispatch(in, regs, labels, childCtl, path)
+				if err != nil {
+					return 0, taint.None, err
+				}
+				regs[in.Dst] = v
+				writeLabel(in.Dst, l)
+			case ir.OpWork:
+				if m.Tracer != nil {
+					m.Tracer.Work(fn.Name, regs[in.A])
+				}
+			case ir.OpRet:
+				if in.A == ir.NoReg {
+					return 0, taint.None, nil
+				}
+				// The returned register's label already reflects every
+				// control-dependent write that produced it.
+				return regs[in.A], labels[in.A], nil
+			case ir.OpJmp:
+				prevBlock = blockIdx
+				blockIdx = in.Blk0
+			case ir.OpBr:
+				cond := regs[in.A] != 0
+				condLabel := labels[in.A]
+				if tainting {
+					exits := fi.exitsAt[blockIdx]
+					for _, l := range exits {
+						m.Taint.RecordLoopExit(fn.Name, l.ID, l.Header, path, condLabel)
+					}
+					m.Taint.RecordBranch(fn.Name, blockIdx, condLabel, cond, len(exits) > 0)
+					if cflow && condLabel != taint.None {
+						join := fi.ipdom[blockIdx]
+						// Joins at the virtual exit (== len blocks) never
+						// match a block index, keeping the scope open until
+						// return, which is the conservative behaviour.
+						ctl = append(ctl, ctlScope{
+							join: join, label: condLabel,
+							loopExit: len(exits) > 0, openSeq: writeSeq,
+						})
+					}
+				}
+				prevBlock = blockIdx
+				if cond {
+					blockIdx = in.Blk0
+				} else {
+					blockIdx = in.Blk1
+				}
+			case ir.OpSwitch:
+				v := regs[in.A]
+				condLabel := labels[in.A]
+				target := in.Blk0
+				for _, cse := range in.Cases {
+					if cse.Value == v {
+						target = cse.Block
+						break
+					}
+				}
+				if tainting {
+					exits := fi.exitsAt[blockIdx]
+					for _, l := range exits {
+						m.Taint.RecordLoopExit(fn.Name, l.ID, l.Header, path, condLabel)
+					}
+					if cflow && condLabel != taint.None {
+						ctl = append(ctl, ctlScope{
+							join: fi.ipdom[blockIdx], label: condLabel,
+							loopExit: len(exits) > 0, openSeq: writeSeq,
+						})
+					}
+				}
+				prevBlock = blockIdx
+				blockIdx = target
+			default:
+				a, b := regs[in.A], Value(0)
+				la, lb := labels[in.A], taint.None
+				if in.B != ir.NoReg {
+					b = regs[in.B]
+					lb = labels[in.B]
+				}
+				regs[in.Dst] = binop(in.Op, a, b)
+				if tainting {
+					writeLabel(in.Dst, m.Taint.Table.Union(la, lb))
+				} else {
+					writeLabel(in.Dst, taint.None)
+				}
+			}
+			if in.Op.IsTerm() {
+				if in.Op == ir.OpRet {
+					panic("unreachable")
+				}
+				break
+			}
+		}
+	}
+}
+
+func (m *Machine) dispatch(in *ir.Instr, regs []Value, labels []taint.Label, ctlBase taint.Label, path string) (Value, taint.Label, error) {
+	args := make([]Value, len(in.Args))
+	argLabels := make([]taint.Label, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = regs[a]
+		argLabels[i] = labels[a]
+	}
+	childPath := path + "/" + in.Sym
+	if callee, ok := m.Mod.Funcs[in.Sym]; ok {
+		if len(args) != callee.NumParams {
+			return 0, taint.None, fmt.Errorf("interp: call %s with %d args, wants %d", in.Sym, len(args), callee.NumParams)
+		}
+		return m.call(callee, args, argLabels, ctlBase, childPath)
+	}
+	ext, ok := m.Externs[in.Sym]
+	if !ok {
+		return 0, taint.None, fmt.Errorf("interp: unresolved call target %q", in.Sym)
+	}
+	if m.Tracer != nil {
+		m.Tracer.Enter(in.Sym, childPath)
+		defer m.Tracer.Exit(in.Sym, childPath)
+	}
+	c := &ExternCall{M: m, Name: in.Sym, Args: args, ArgLabels: argLabels, CallPath: childPath}
+	v, err := ext(c)
+	if err != nil {
+		return 0, taint.None, fmt.Errorf("extern %s: %w", in.Sym, err)
+	}
+	return v, c.RetLabel, nil
+}
+
+func binop(op ir.Opcode, a, b Value) Value {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.OpMod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		if b < 0 || b > 63 {
+			return 0
+		}
+		return a << uint(b)
+	case ir.OpShr:
+		if b < 0 || b > 63 {
+			return 0
+		}
+		return a >> uint(b)
+	case ir.OpCmpEQ:
+		return boolVal(a == b)
+	case ir.OpCmpNE:
+		return boolVal(a != b)
+	case ir.OpCmpLT:
+		return boolVal(a < b)
+	case ir.OpCmpLE:
+		return boolVal(a <= b)
+	case ir.OpCmpGT:
+		return boolVal(a > b)
+	case ir.OpCmpGE:
+		return boolVal(a >= b)
+	case ir.OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case ir.OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("interp: unhandled opcode %v", op))
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,219 @@
+// Package ir defines a compact register-machine intermediate representation
+// with an explicit control-flow graph. It is the substrate on which the
+// Perf-Taint analyses operate: programs are lowered to ir.Module values,
+// the interpreter executes them, and the static and dynamic analyses inspect
+// their basic blocks, branches, and natural loops.
+//
+// The design mirrors the subset of LLVM IR that the paper's analyses touch:
+// virtual registers, loads/stores against a flat address space, conditional
+// branches as the only control-flow construct, and direct calls. There is no
+// SSA form; the analyses in this repository do not require it.
+package ir
+
+import "fmt"
+
+// Reg is a virtual register index local to a function frame.
+type Reg int
+
+// NoReg marks an unused register slot in an instruction.
+const NoReg Reg = -1
+
+// Opcode enumerates instruction kinds.
+type Opcode uint8
+
+// Instruction opcodes. Arithmetic and comparison instructions write Dst from
+// operands A and B. Memory instructions address the interpreter heap.
+const (
+	OpConst Opcode = iota // Dst = Imm
+	OpMov                 // Dst = A
+	OpAdd                 // Dst = A + B
+	OpSub                 // Dst = A - B
+	OpMul                 // Dst = A * B
+	OpDiv                 // Dst = A / B (0 on divide-by-zero)
+	OpMod                 // Dst = A % B (0 on divide-by-zero)
+	OpNeg                 // Dst = -A
+	OpNot                 // Dst = boolean not A
+	OpAnd                 // Dst = A & B
+	OpOr                  // Dst = A | B
+	OpXor                 // Dst = A ^ B
+	OpShl                 // Dst = A << B
+	OpShr                 // Dst = A >> B
+	OpCmpEQ               // Dst = A == B
+	OpCmpNE               // Dst = A != B
+	OpCmpLT               // Dst = A < B
+	OpCmpLE               // Dst = A <= B
+	OpCmpGT               // Dst = A > B
+	OpCmpGE               // Dst = A >= B
+	OpMin                 // Dst = min(A, B)
+	OpMax                 // Dst = max(A, B)
+	OpLoad                // Dst = heap[A + Off]
+	OpStore               // heap[A + Off] = B
+	OpAlloc               // Dst = allocate A cells, returns base address
+	OpGlobal              // Dst = address of global Sym
+	OpCall                // Dst = call Sym(Args...)
+	OpWork                // simulated computational work of A abstract units
+)
+
+// Terminator opcodes close a basic block.
+const (
+	OpJmp    Opcode = 64 + iota // unconditional jump to Blk0
+	OpBr                        // if A != 0 goto Blk0 else Blk1
+	OpRet                       // return A (or no value if A == NoReg)
+	OpSwitch                    // multiway branch on A over Cases, default Blk0
+)
+
+// IsTerm reports whether op terminates a basic block.
+func (op Opcode) IsTerm() bool { return op >= OpJmp }
+
+var opNames = map[Opcode]string{
+	OpConst: "const", OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpMod: "mod", OpNeg: "neg", OpNot: "not", OpAnd: "and",
+	OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpMin: "min", OpMax: "max",
+	OpLoad: "load", OpStore: "store", OpAlloc: "alloc", OpGlobal: "global",
+	OpCall: "call", OpWork: "work",
+	OpJmp: "jmp", OpBr: "br", OpRet: "ret", OpSwitch: "switch",
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Instr is a single instruction. The meaning of the fields depends on Op;
+// unused register fields hold NoReg.
+type Instr struct {
+	Op   Opcode
+	Dst  Reg
+	A, B Reg
+	Imm  int64 // OpConst immediate, OpLoad/OpStore offset
+	Sym  string
+	Args []Reg // OpCall arguments
+	Blk0 int   // OpJmp/OpBr/OpSwitch target block index
+	Blk1 int   // OpBr false-target block index
+
+	// Cases maps switch values to block indices for OpSwitch.
+	Cases []SwitchCase
+}
+
+// SwitchCase is one (value, target block) arm of an OpSwitch terminator.
+type SwitchCase struct {
+	Value int64
+	Block int
+}
+
+// Block is a basic block: a straight-line instruction sequence ended by a
+// single terminator (the last element of Instrs).
+type Block struct {
+	Index  int
+	Name   string
+	Instrs []Instr
+}
+
+// Term returns the block terminator. It panics on an unterminated block;
+// the verifier rejects such blocks before execution.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		panic(fmt.Sprintf("ir: block %q has no instructions", b.Name))
+	}
+	t := &b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerm() {
+		panic(fmt.Sprintf("ir: block %q lacks a terminator", b.Name))
+	}
+	return t
+}
+
+// Succs appends the successor block indices of b to dst and returns it.
+func (b *Block) Succs(dst []int) []int {
+	t := b.Term()
+	switch t.Op {
+	case OpJmp:
+		dst = append(dst, t.Blk0)
+	case OpBr:
+		dst = append(dst, t.Blk0, t.Blk1)
+	case OpSwitch:
+		dst = append(dst, t.Blk0)
+		for _, c := range t.Cases {
+			dst = append(dst, c.Block)
+		}
+	}
+	return dst
+}
+
+// Function is a callable IR unit. Registers 0..NumParams-1 hold the incoming
+// arguments. Entry is always block 0.
+type Function struct {
+	Name      string
+	NumParams int
+	NumRegs   int
+	Blocks    []*Block
+
+	// Attrs carries frontend annotations consumed by the analyses, e.g.
+	// apps mark getter/setter helpers and communication wrappers.
+	Attrs map[string]string
+}
+
+// Attr returns the attribute value for key, or "".
+func (f *Function) Attr(key string) string {
+	if f.Attrs == nil {
+		return ""
+	}
+	return f.Attrs[key]
+}
+
+// SetAttr sets a frontend annotation on f.
+func (f *Function) SetAttr(key, val string) {
+	if f.Attrs == nil {
+		f.Attrs = make(map[string]string)
+	}
+	f.Attrs[key] = val
+}
+
+// Global is a named module-scope memory region of Size cells.
+type Global struct {
+	Name string
+	Size int64
+}
+
+// Module is a linked set of functions and globals.
+type Module struct {
+	Name     string
+	Funcs    map[string]*Function
+	FuncList []*Function // deterministic order
+	Globals  []Global
+}
+
+// NewModule returns an empty module named name.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Funcs: make(map[string]*Function)}
+}
+
+// AddFunc registers f in the module. It panics on duplicate names; module
+// construction is programmer-controlled, so a duplicate is a frontend bug.
+func (m *Module) AddFunc(f *Function) {
+	if _, dup := m.Funcs[f.Name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", f.Name))
+	}
+	m.Funcs[f.Name] = f
+	m.FuncList = append(m.FuncList, f)
+}
+
+// AddGlobal declares a global region of size cells and returns its name.
+func (m *Module) AddGlobal(name string, size int64) string {
+	m.Globals = append(m.Globals, Global{Name: name, Size: size})
+	return name
+}
+
+// GlobalSize returns the declared size of global name and whether it exists.
+func (m *Module) GlobalSize(name string) (int64, bool) {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g.Size, true
+		}
+	}
+	return 0, false
+}

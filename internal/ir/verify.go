@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural invariants of f: every block terminated exactly
+// once at its end, register and block indices in range, and entry present.
+// The interpreter and analyses assume a verified function.
+func Verify(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return errors.New("no blocks")
+	}
+	checkReg := func(r Reg, what string, blk *Block, idx int) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("block %q instr %d: %s register %d out of range [0,%d)",
+				blk.Name, idx, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	checkBlk := func(b int, blk *Block, idx int) error {
+		if b < 0 || b >= len(f.Blocks) {
+			return fmt.Errorf("block %q instr %d: target block %d out of range", blk.Name, idx, b)
+		}
+		return nil
+	}
+	for bi, blk := range f.Blocks {
+		if blk.Index != bi {
+			return fmt.Errorf("block %q: index %d != position %d", blk.Name, blk.Index, bi)
+		}
+		if len(blk.Instrs) == 0 {
+			return fmt.Errorf("block %q: empty", blk.Name)
+		}
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			last := ii == len(blk.Instrs)-1
+			if in.Op.IsTerm() != last {
+				if last {
+					return fmt.Errorf("block %q: last instruction %s is not a terminator", blk.Name, in.Op)
+				}
+				return fmt.Errorf("block %q instr %d: terminator %s mid-block", blk.Name, ii, in.Op)
+			}
+			if err := checkReg(in.Dst, "dst", blk, ii); err != nil {
+				return err
+			}
+			if err := checkReg(in.A, "a", blk, ii); err != nil {
+				return err
+			}
+			if err := checkReg(in.B, "b", blk, ii); err != nil {
+				return err
+			}
+			for _, a := range in.Args {
+				if err := checkReg(a, "arg", blk, ii); err != nil {
+					return err
+				}
+			}
+			switch in.Op {
+			case OpJmp:
+				if err := checkBlk(in.Blk0, blk, ii); err != nil {
+					return err
+				}
+			case OpBr:
+				if err := checkBlk(in.Blk0, blk, ii); err != nil {
+					return err
+				}
+				if err := checkBlk(in.Blk1, blk, ii); err != nil {
+					return err
+				}
+				if in.A == NoReg {
+					return fmt.Errorf("block %q: br without condition", blk.Name)
+				}
+			case OpSwitch:
+				if err := checkBlk(in.Blk0, blk, ii); err != nil {
+					return err
+				}
+				for _, c := range in.Cases {
+					if err := checkBlk(c.Block, blk, ii); err != nil {
+						return err
+					}
+				}
+			case OpCall:
+				if in.Sym == "" {
+					return fmt.Errorf("block %q instr %d: call without callee", blk.Name, ii)
+				}
+			case OpGlobal:
+				if in.Sym == "" {
+					return fmt.Errorf("block %q instr %d: global without symbol", blk.Name, ii)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyModule verifies every function and resolves all call targets.
+// Unresolved callees are allowed only if extern reports them as provided by
+// a runtime library (e.g. the MPI database); extern may be nil.
+func VerifyModule(m *Module, extern func(string) bool) error {
+	for _, f := range m.FuncList {
+		if err := Verify(f); err != nil {
+			return fmt.Errorf("function %q: %w", f.Name, err)
+		}
+		for _, blk := range f.Blocks {
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				if in.Op != OpCall {
+					continue
+				}
+				if _, ok := m.Funcs[in.Sym]; ok {
+					continue
+				}
+				if extern != nil && extern(in.Sym) {
+					continue
+				}
+				return fmt.Errorf("function %q: unresolved callee %q", f.Name, in.Sym)
+			}
+		}
+	}
+	return nil
+}

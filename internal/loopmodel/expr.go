@@ -1,0 +1,338 @@
+// Package loopmodel implements the symbolic iteration-volume algebra of
+// Section 4: count(L) = g(p1..pn) for each loop with the parameter set
+// delivered by the taint analysis, sequencing of loop nests composing
+// additively and nesting composing multiplicatively (Claims 1-2), and the
+// recursive accumulation over the call tree yielding the asymptotic compute
+// volume of the whole program (Theorem 1). The resulting dependency
+// structure — additive groups of multiplicative parameter sets — is the
+// prior the hybrid modeler feeds to Extra-P.
+package loopmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a symbolic iteration-volume expression.
+type Expr interface {
+	String() string
+	// params adds the parameter names occurring in the expression to set.
+	params(set map[string]bool)
+}
+
+// Const is a constant volume (e.g. a statically resolved trip count).
+type Const struct{ Value float64 }
+
+// Unknown is an unresolved loop-count function g(p1..pn): the taint sink
+// proves which parameters it may depend on, nothing more (Claim 1).
+type Unknown struct{ Params []string }
+
+// Sum is an additive composition (sequenced loop nests).
+type Sum struct{ Terms []Expr }
+
+// Prod is a multiplicative composition (nested loop nests).
+type Prod struct{ Factors []Expr }
+
+// String renders the constant.
+func (c Const) String() string { return trimFloat(c.Value) }
+
+func (c Const) params(map[string]bool) {}
+
+// String renders g(params...); a dependency-free unknown renders as g().
+func (u Unknown) String() string {
+	ps := append([]string(nil), u.Params...)
+	sort.Strings(ps)
+	return "g(" + strings.Join(ps, ",") + ")"
+}
+
+func (u Unknown) params(set map[string]bool) {
+	for _, p := range u.Params {
+		set[p] = true
+	}
+}
+
+// String renders the sum with + separators.
+func (s Sum) String() string {
+	if len(s.Terms) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(s.Terms))
+	for i, t := range s.Terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+func (s Sum) params(set map[string]bool) {
+	for _, t := range s.Terms {
+		t.params(set)
+	}
+}
+
+// String renders the product with * separators.
+func (p Prod) String() string {
+	if len(p.Factors) == 0 {
+		return "1"
+	}
+	parts := make([]string, len(p.Factors))
+	for i, f := range p.Factors {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "*")
+}
+
+func (p Prod) params(set map[string]bool) {
+	for _, f := range p.Factors {
+		f.params(set)
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Params returns the sorted parameter names occurring in e.
+func Params(e Expr) []string {
+	set := make(map[string]bool)
+	e.params(set)
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add composes expressions additively, flattening nested sums and folding
+// constants.
+func Add(terms ...Expr) Expr {
+	var flat []Expr
+	c := 0.0
+	hasConst := false
+	for _, t := range terms {
+		switch v := t.(type) {
+		case nil:
+		case Const:
+			c += v.Value
+			hasConst = true
+		case Sum:
+			for _, inner := range v.Terms {
+				if ic, ok := inner.(Const); ok {
+					c += ic.Value
+					hasConst = true
+				} else {
+					flat = append(flat, inner)
+				}
+			}
+		default:
+			flat = append(flat, t)
+		}
+	}
+	if hasConst && (c != 0 || len(flat) == 0) {
+		flat = append(flat, Const{c})
+	}
+	switch len(flat) {
+	case 0:
+		return Const{0}
+	case 1:
+		return flat[0]
+	}
+	return Sum{Terms: flat}
+}
+
+// Mul composes expressions multiplicatively, flattening nested products and
+// folding constants; multiplication by zero collapses the product.
+func Mul(factors ...Expr) Expr {
+	var flat []Expr
+	c := 1.0
+	hasConst := false
+	for _, f := range factors {
+		switch v := f.(type) {
+		case nil:
+		case Const:
+			c *= v.Value
+			hasConst = true
+		case Prod:
+			for _, inner := range v.Factors {
+				if ic, ok := inner.(Const); ok {
+					c *= ic.Value
+					hasConst = true
+				} else {
+					flat = append(flat, inner)
+				}
+			}
+		default:
+			flat = append(flat, f)
+		}
+	}
+	if hasConst && c == 0 {
+		return Const{0}
+	}
+	if hasConst && (c != 1 || len(flat) == 0) {
+		flat = append([]Expr{Const{c}}, flat...)
+	}
+	switch len(flat) {
+	case 0:
+		return Const{1}
+	case 1:
+		return flat[0]
+	}
+	return Prod{Factors: flat}
+}
+
+// DepGroup is one multiplicative parameter set: parameters appearing in the
+// same product term of the normalized volume expression.
+type DepGroup []string
+
+// Structure is the dependency structure of a function: additive groups of
+// multiplicative sets, deduplicated and sorted. The paper uses it for the
+// reduced experiment design (Section A2) and the model search-space prior.
+type Structure struct {
+	Groups []DepGroup
+}
+
+// Params returns all parameters occurring in any group, sorted.
+func (s Structure) Params() []string {
+	set := make(map[string]bool)
+	for _, g := range s.Groups {
+		for _, p := range g {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Multiplicative reports whether parameters a and b occur together in any
+// multiplicative group.
+func (s Structure) Multiplicative(a, b string) bool {
+	for _, g := range s.Groups {
+		hasA, hasB := false, false
+		for _, p := range g {
+			if p == a {
+				hasA = true
+			}
+			if p == b {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			return true
+		}
+	}
+	return false
+}
+
+// AdditiveOnly reports whether no group couples two or more parameters:
+// single-parameter models suffice and the experiment design can drop full
+// cross products (Section A2).
+func (s Structure) AdditiveOnly() bool {
+	for _, g := range s.Groups {
+		if len(g) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the structure as e.g. "{p} + {size} + {p,size}".
+func (s Structure) String() string {
+	if len(s.Groups) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s.Groups))
+	for i, g := range s.Groups {
+		parts[i] = "{" + strings.Join(g, ",") + "}"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// maxNormTerms bounds distribution blow-up when normalizing products of
+// sums; dependency structures beyond this size are collapsed conservatively
+// into a single multiplicative group (an over-approximation, as the paper's
+// analysis does for multi-label exit conditions).
+const maxNormTerms = 256
+
+// StructureOf normalizes e into a sum of products and extracts the
+// per-term parameter sets.
+func StructureOf(e Expr) Structure {
+	terms := normalize(e)
+	seen := make(map[string]bool)
+	var st Structure
+	for _, t := range terms {
+		set := make(map[string]bool)
+		for _, leaf := range t {
+			leaf.params(set)
+		}
+		if len(set) == 0 {
+			continue
+		}
+		g := make(DepGroup, 0, len(set))
+		for p := range set {
+			g = append(g, p)
+		}
+		sort.Strings(g)
+		key := strings.Join(g, ",")
+		if !seen[key] {
+			seen[key] = true
+			st.Groups = append(st.Groups, g)
+		}
+	}
+	sort.Slice(st.Groups, func(i, j int) bool {
+		return strings.Join(st.Groups[i], ",") < strings.Join(st.Groups[j], ",")
+	})
+	return st
+}
+
+// normalize returns e as a list of product terms (each a list of leaves).
+func normalize(e Expr) [][]Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case Const:
+		return [][]Expr{{v}}
+	case Unknown:
+		return [][]Expr{{v}}
+	case Sum:
+		var out [][]Expr
+		for _, t := range v.Terms {
+			out = append(out, normalize(t)...)
+			if len(out) > maxNormTerms {
+				return [][]Expr{{collapse(e)}}
+			}
+		}
+		return out
+	case Prod:
+		out := [][]Expr{{}}
+		for _, f := range v.Factors {
+			ft := normalize(f)
+			var next [][]Expr
+			for _, a := range out {
+				for _, b := range ft {
+					term := make([]Expr, 0, len(a)+len(b))
+					term = append(term, a...)
+					term = append(term, b...)
+					next = append(next, term)
+				}
+			}
+			out = next
+			if len(out) > maxNormTerms {
+				return [][]Expr{{collapse(e)}}
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("loopmodel: unknown expr %T", e))
+	}
+}
+
+// collapse over-approximates e as a single unknown over all its parameters.
+func collapse(e Expr) Expr {
+	return Unknown{Params: Params(e)}
+}

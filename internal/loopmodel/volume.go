@@ -1,0 +1,233 @@
+package loopmodel
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// LoopDeps supplies, per function and loop ID, the parameter names the taint
+// analysis attached to the loop's exit conditions (empty for untainted).
+type LoopDeps func(fn string, loopID int) []string
+
+// StaticTrip supplies the statically resolved constant trip count of a loop
+// (ok=false when the loop is not statically constant).
+type StaticTrip func(fn string, loopID int) (count int64, ok bool)
+
+// ExternVolume supplies the symbolic volume contribution of a call to a
+// library function outside the module (nil when irrelevant). The library
+// database uses this to inject analytic dependencies such as log(p) for
+// collectives.
+type ExternVolume func(callee string) Expr
+
+// Volumes holds the per-function inclusive iteration volumes and their
+// dependency structures for a whole module.
+type Volumes struct {
+	// ByFunc is the inclusive volume of each function: its own loop nests
+	// plus the accumulated volumes of its callees (Theorem 1).
+	ByFunc map[string]Expr
+	// LocalByFunc is the function's own loop-nest volume without callees.
+	LocalByFunc map[string]Expr
+	// StructByFunc is the normalized dependency structure per function.
+	StructByFunc map[string]Structure
+	// RecursionWarnings names functions on call-graph cycles whose volumes
+	// are over-approximated as unknown (Section 4.1's warning).
+	RecursionWarnings []string
+}
+
+// Compute derives volumes for every function in m bottom-up over the call
+// graph. deps and trips may be nil (then every non-constant loop counts as
+// an unknown with no parameters); externVol may be nil.
+func Compute(m *ir.Module, deps LoopDeps, trips StaticTrip, externVol ExternVolume) *Volumes {
+	cg := cfg.BuildCallGraph(m)
+	rec := cg.FindRecursion()
+	recSet := make(map[string]bool, len(rec))
+	for _, r := range rec {
+		recSet[r] = true
+	}
+	sort.Strings(rec)
+
+	v := &Volumes{
+		ByFunc:            make(map[string]Expr, len(m.FuncList)),
+		LocalByFunc:       make(map[string]Expr, len(m.FuncList)),
+		StructByFunc:      make(map[string]Structure, len(m.FuncList)),
+		RecursionWarnings: rec,
+	}
+
+	order := cfg.TopoOrder(m, cg)
+	for _, fn := range order {
+		if recSet[fn.Name] {
+			// Over-approximate recursive functions: unknown over all params
+			// of their loops.
+			set := make(map[string]bool)
+			g := cfg.Build(fn)
+			forest := cfg.FindLoops(g)
+			for _, l := range forest.Loops {
+				if deps != nil {
+					for _, p := range deps(fn.Name, l.ID) {
+						set[p] = true
+					}
+				}
+			}
+			var ps []string
+			for p := range set {
+				ps = append(ps, p)
+			}
+			sort.Strings(ps)
+			e := Expr(Unknown{Params: ps})
+			v.ByFunc[fn.Name] = e
+			v.LocalByFunc[fn.Name] = e
+			v.StructByFunc[fn.Name] = StructureOf(e)
+			continue
+		}
+		incl, local := computeFunc(fn, v.ByFunc, deps, trips, externVol)
+		v.ByFunc[fn.Name] = incl
+		v.LocalByFunc[fn.Name] = local
+		v.StructByFunc[fn.Name] = StructureOf(incl)
+	}
+	return v
+}
+
+// computeFunc returns the inclusive and local volumes of fn given already
+// computed callee volumes.
+func computeFunc(fn *ir.Function, memo map[string]Expr, deps LoopDeps, trips StaticTrip, externVol ExternVolume) (incl, local Expr) {
+	g := cfg.Build(fn)
+	forest := cfg.FindLoops(g)
+
+	// Calls attributed to their innermost containing loop (nil = top level).
+	callsIn := make(map[*cfg.Loop][]Expr)
+	for bi, blk := range fn.Blocks {
+		if !g.Reachable(bi) {
+			continue
+		}
+		owner := forest.InnermostAt[bi]
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			var ce Expr
+			if e, ok := memo[in.Sym]; ok {
+				ce = e
+			} else if externVol != nil {
+				ce = externVol(in.Sym)
+			}
+			if ce != nil {
+				callsIn[owner] = append(callsIn[owner], ce)
+			}
+		}
+	}
+
+	countOf := func(l *cfg.Loop) Expr {
+		if trips != nil {
+			if c, ok := trips(fn.Name, l.ID); ok {
+				if c < 0 {
+					c = 1
+				}
+				return Const{Value: float64(c)}
+			}
+		}
+		var ps []string
+		if deps != nil {
+			ps = deps(fn.Name, l.ID)
+		}
+		return Unknown{Params: append([]string(nil), ps...)}
+	}
+
+	// volWith aggregates a loop: count(L) * (1 + children + calls).
+	var volLoop func(l *cfg.Loop) Expr
+	volLoop = func(l *cfg.Loop) Expr {
+		body := []Expr{Const{Value: 1}}
+		for _, c := range l.Children {
+			body = append(body, volLoop(c))
+		}
+		body = append(body, callsIn[l]...)
+		return Mul(countOf(l), Add(body...))
+	}
+
+	// volWithCalls / volLocal differ only in whether callee volumes join in.
+	topTerms := []Expr{Const{Value: 1}}
+	localTerms := []Expr{Const{Value: 1}}
+	for _, r := range forest.Roots {
+		topTerms = append(topTerms, volLoop(r))
+	}
+	topTerms = append(topTerms, callsIn[nil]...)
+
+	var volLoopLocal func(l *cfg.Loop) Expr
+	volLoopLocal = func(l *cfg.Loop) Expr {
+		body := []Expr{Const{Value: 1}}
+		for _, c := range l.Children {
+			body = append(body, volLoopLocal(c))
+		}
+		return Mul(countOf(l), Add(body...))
+	}
+	for _, r := range forest.Roots {
+		localTerms = append(localTerms, volLoopLocal(r))
+	}
+
+	return Add(topTerms...), Add(localTerms...)
+}
+
+// RequiredExperiments computes the size of the experiment design for the
+// given structure when each parameter takes points values: additive-only
+// structures need per-parameter sweeps sharing one base point, whereas any
+// multiplicative coupling requires the full cross product over the coupled
+// group (Section A2's p×s vs p+s example).
+func RequiredExperiments(st Structure, points map[string]int) int {
+	if len(st.Groups) == 0 {
+		return 1
+	}
+	// Partition parameters into connected components of multiplicative
+	// coupling; each component costs the product of its point counts, and
+	// components combine additively sharing a common base point.
+	params := st.Params()
+	parent := make(map[string]string, len(params))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, p := range params {
+		parent[p] = p
+	}
+	for _, g := range st.Groups {
+		for i := 1; i < len(g); i++ {
+			parent[find(g[i])] = find(g[0])
+		}
+	}
+	comp := make(map[string][]string)
+	for _, p := range params {
+		r := find(p)
+		comp[r] = append(comp[r], p)
+	}
+	total := 1 // shared base point
+	for _, members := range comp {
+		prod := 1
+		for _, p := range members {
+			n := points[p]
+			if n <= 0 {
+				n = 1
+			}
+			prod *= n
+		}
+		total += prod - 1 // component sweep reuses the base point
+	}
+	return total
+}
+
+// FullFactorialExperiments is the naive design size: the cross product over
+// all parameters (what a black-box modeler must run without the prior).
+func FullFactorialExperiments(st Structure, points map[string]int) int {
+	total := 1
+	for _, p := range st.Params() {
+		n := points[p]
+		if n <= 0 {
+			n = 1
+		}
+		total *= n
+	}
+	return total
+}

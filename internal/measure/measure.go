@@ -1,0 +1,203 @@
+// Package measure implements the Score-P analog: instrumentation filter
+// policies (full, the default compiler-inline heuristic, and the
+// taint-based selective filter of Section A3) and helpers to turn cluster
+// profiles into Extra-P datasets.
+package measure
+
+import (
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/extrap"
+	"repro/internal/noise"
+)
+
+// Filter selects the instrumented function set.
+type Filter int
+
+// Filter policies of the evaluation (Figures 3 and 4).
+const (
+	// FilterNone instruments nothing: the native-run baseline.
+	FilterNone Filter = iota
+	// FilterFull instruments every function, the conservative choice
+	// empirical modeling otherwise requires.
+	FilterFull
+	// FilterDefault mirrors Score-P's default: skip functions the compiler
+	// estimates it will inline. Cheap, but misses performance-relevant
+	// kernels (false negatives) while keeping constant-runtime helpers.
+	FilterDefault
+	// FilterTaint instruments only functions the taint analysis proved
+	// parameter-dependent (plus main), the Perf-Taint policy.
+	FilterTaint
+)
+
+// String names the filter.
+func (f Filter) String() string {
+	switch f {
+	case FilterNone:
+		return "none"
+	case FilterFull:
+		return "full"
+	case FilterDefault:
+		return "default"
+	case FilterTaint:
+		return "taint"
+	default:
+		return "unknown"
+	}
+}
+
+// Select computes the instrumented set for a policy. relevant is the
+// taint-derived set of parameter-dependent functions (required for
+// FilterTaint, ignored otherwise).
+func Select(spec *apps.Spec, f Filter, relevant map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	switch f {
+	case FilterNone:
+	case FilterFull:
+		for _, fn := range spec.Funcs {
+			out[fn.Name] = true
+		}
+	case FilterDefault:
+		for _, fn := range spec.Funcs {
+			if !fn.InlineEstimate {
+				out[fn.Name] = true
+			}
+		}
+	case FilterTaint:
+		for _, fn := range spec.Funcs {
+			if relevant[fn.Name] || fn.Kind == apps.KindMain {
+				out[fn.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// Overhead quantifies one configuration under one filter.
+type Overhead struct {
+	Cfg             apps.Config
+	Filter          Filter
+	BaseSeconds     float64
+	OverheadSeconds float64
+	// RelativePct is 100 * overhead / base.
+	RelativePct float64
+	Instrumented int
+}
+
+// MeasureOverhead computes the instrumentation overhead of filter at cfg.
+func MeasureOverhead(r *cluster.Runner, cfg apps.Config, f Filter, relevant map[string]bool) (*Overhead, error) {
+	set := Select(r.Spec, f, relevant)
+	prof, err := r.Measure(cfg, set, 1, noise.Quiet())
+	if err != nil {
+		return nil, err
+	}
+	o := &Overhead{
+		Cfg:             cfg.Clone(),
+		Filter:          f,
+		BaseSeconds:     prof.BaseSeconds,
+		OverheadSeconds: prof.OverheadSeconds,
+		Instrumented:    len(set),
+	}
+	if prof.BaseSeconds > 0 {
+		o.RelativePct = 100 * prof.OverheadSeconds / prof.BaseSeconds
+	}
+	return o, nil
+}
+
+// Campaign runs a full modeling experiment: all parameter configurations,
+// repeated measurements, one dataset per function.
+type Campaign struct {
+	Runner *cluster.Runner
+	// Sweep lists the configurations to measure.
+	Sweep []apps.Config
+	// Reps is the number of repetitions per configuration (5 in the paper).
+	Reps int
+	// Filter chooses the instrumentation policy; Relevant feeds FilterTaint.
+	Filter   Filter
+	Relevant map[string]bool
+	// Noise parameters for the synthetic measurements.
+	Seed         int64
+	RelNoise     float64
+	FloorSeconds float64
+	// ModelParams are the swept parameter names datasets are built over.
+	ModelParams []string
+}
+
+// Datasets runs the campaign and returns a per-function dataset plus the
+// application-total dataset under key "". Functions that never execute are
+// omitted.
+func (c *Campaign) Datasets() (map[string]*extrap.Dataset, error) {
+	set := Select(c.Runner.Spec, c.Filter, c.Relevant)
+	src := noise.New(c.Seed, c.RelNoise, c.FloorSeconds)
+	out := make(map[string]*extrap.Dataset)
+	reps := c.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	for _, cfg := range c.Sweep {
+		prof, err := c.Runner.Measure(cfg, set, reps, src)
+		if err != nil {
+			return nil, err
+		}
+		pv := make(map[string]float64, len(c.ModelParams))
+		for _, p := range c.ModelParams {
+			pv[p] = cfg[p]
+		}
+		for fn, vals := range prof.FuncSeconds {
+			if instrumentedOnly(c.Filter) && !set[fn] && !isMPI(c.Runner.Spec, fn) {
+				continue
+			}
+			d := out[fn]
+			if d == nil {
+				d = extrap.NewDataset(c.ModelParams...)
+				out[fn] = d
+			}
+			d.Add(pv, vals...)
+		}
+		appd := out[""]
+		if appd == nil {
+			appd = extrap.NewDataset(c.ModelParams...)
+			out[""] = appd
+		}
+		appd.Add(pv, prof.AppSeconds...)
+	}
+	return out, nil
+}
+
+func instrumentedOnly(f Filter) bool { return f != FilterNone }
+
+func isMPI(s *apps.Spec, name string) bool {
+	for _, m := range s.MPIUsed {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossSweep builds the full-factorial configuration list over two
+// parameters with the remaining parameters fixed at defaults.
+func CrossSweep(defaults apps.Config, pName string, ps []float64, sName string, ss []float64) []apps.Config {
+	var out []apps.Config
+	for _, p := range ps {
+		for _, s := range ss {
+			cfg := defaults.Clone()
+			cfg[pName] = p
+			cfg[sName] = s
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// SortedFuncs returns the dataset keys in deterministic order.
+func SortedFuncs(ds map[string]*extrap.Dataset) []string {
+	out := make([]string, 0, len(ds))
+	for k := range ds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package measure
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+)
+
+func TestSelectPolicies(t *testing.T) {
+	spec := apps.LULESH()
+	relevant := map[string]bool{"CalcQForElems": true, "CommSBN": true}
+
+	none := Select(spec, FilterNone, nil)
+	if len(none) != 0 {
+		t.Fatalf("FilterNone selected %d functions", len(none))
+	}
+	full := Select(spec, FilterFull, nil)
+	if len(full) != len(spec.Funcs) {
+		t.Fatalf("FilterFull = %d, want %d", len(full), len(spec.Funcs))
+	}
+	def := Select(spec, FilterDefault, nil)
+	if len(def) >= len(full) {
+		t.Fatal("default filter must skip inline candidates")
+	}
+	// The default filter must miss CalcQForElems (the B2 false negative).
+	if def["CalcQForElems"] {
+		t.Fatal("default filter should skip CalcQForElems")
+	}
+	taint := Select(spec, FilterTaint, relevant)
+	if len(taint) != 3 { // 2 relevant + main
+		t.Fatalf("taint filter = %d functions, want 3", len(taint))
+	}
+	if !taint["main"] {
+		t.Fatal("taint filter must include main")
+	}
+}
+
+func TestFilterString(t *testing.T) {
+	for f, want := range map[Filter]string{
+		FilterNone: "none", FilterFull: "full", FilterDefault: "default", FilterTaint: "taint",
+	} {
+		if f.String() != want {
+			t.Fatalf("Filter(%d).String() = %q, want %q", f, f.String(), want)
+		}
+	}
+}
+
+func TestMeasureOverheadOrdering(t *testing.T) {
+	spec := apps.LULESH()
+	runner := cluster.NewRunner(spec)
+	cfg := apps.LULESHDefaults()
+	cfg["p"] = 27
+	cfg["size"] = 30
+	relevant := map[string]bool{"CalcQForElems": true}
+
+	var rel = map[Filter]float64{}
+	for _, f := range []Filter{FilterTaint, FilterDefault, FilterFull} {
+		o, err := MeasureOverhead(runner, cfg, f, relevant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel[f] = o.RelativePct
+	}
+	if !(rel[FilterTaint] < rel[FilterDefault] && rel[FilterDefault] < rel[FilterFull]) {
+		t.Fatalf("overhead ordering violated: %v", rel)
+	}
+}
+
+func TestCampaignDatasets(t *testing.T) {
+	spec := apps.LULESH()
+	runner := cluster.NewRunner(spec)
+	defaults := apps.LULESHDefaults()
+	defaults["iters"] = 50
+	sweep := CrossSweep(defaults, "p", []float64{27, 64}, "size", []float64{25, 30})
+
+	camp := &Campaign{
+		Runner:      runner,
+		Sweep:       sweep,
+		Reps:        3,
+		Filter:      FilterFull,
+		Seed:        5,
+		RelNoise:    0.02,
+		ModelParams: []string{"p", "size"},
+	}
+	ds, err := camp.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds["CalcForceForNodes"]
+	if d == nil {
+		t.Fatal("kernel dataset missing")
+	}
+	if len(d.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(d.Points))
+	}
+	if len(d.Points[0].Values) != 3 {
+		t.Fatalf("repeats = %d, want 3", len(d.Points[0].Values))
+	}
+	app := ds[""]
+	if app == nil || len(app.Points) != 4 {
+		t.Fatal("application dataset missing")
+	}
+	if _, ok := ds["MPI_Allreduce"]; !ok {
+		t.Fatal("MPI dataset missing")
+	}
+}
+
+func TestCrossSweepSize(t *testing.T) {
+	defaults := apps.Config{"x": 1}
+	sweep := CrossSweep(defaults, "p", []float64{1, 2, 3}, "s", []float64{4, 5})
+	if len(sweep) != 6 {
+		t.Fatalf("sweep = %d configs, want 6", len(sweep))
+	}
+	// Defaults must not be mutated.
+	if _, ok := defaults["p"]; ok {
+		t.Fatal("defaults mutated")
+	}
+}
+
+func TestSortedFuncsDeterministic(t *testing.T) {
+	spec := apps.LULESH()
+	runner := cluster.NewRunner(spec)
+	defaults := apps.LULESHDefaults()
+	defaults["iters"] = 20
+	sweep := CrossSweep(defaults, "p", []float64{27}, "size", []float64{25})
+	camp := &Campaign{Runner: runner, Sweep: sweep, Reps: 1, Filter: FilterFull, ModelParams: []string{"p", "size"}}
+	ds, err := camp.Datasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := SortedFuncs(ds)
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package mpisim is a functional message-passing substrate: a communicator
+// of R simulated ranks running as goroutines with typed channels, providing
+// the point-to-point and collective operations the library database
+// describes, plus the analytical cost models (LogP/Thakur-style) that the
+// measurement substrate uses to synthesize communication times.
+//
+// The taint analysis itself runs single-process (labels are not exchanged
+// across ranks; see Section 5.3), so this package serves two purposes:
+// exercising the MPI semantics in tests and examples, and providing the
+// cost-model side of the evaluation's communication routines.
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Message is one point-to-point payload with a tag.
+type Message struct {
+	Source int
+	Tag    int
+	Data   []int64
+}
+
+// World is a simulated communicator of Size ranks.
+type World struct {
+	Size int
+	// mail[dst] receives messages for rank dst.
+	mail []chan Message
+
+	barrier   *barrierState
+	mu        sync.Mutex
+	collected map[int][][]int64 // generation -> per-rank contributions
+}
+
+type barrierState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+	gen   int
+	size  int
+}
+
+func newBarrier(size int) *barrierState {
+	b := &barrierState{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrierState) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// NewWorld creates a communicator with size ranks. Channel capacity is
+// generous so that eager sends do not deadlock simple exchange patterns.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpisim: invalid world size %d", size)
+	}
+	w := &World{
+		Size:      size,
+		mail:      make([]chan Message, size),
+		barrier:   newBarrier(size),
+		collected: make(map[int][][]int64),
+	}
+	for i := range w.mail {
+		w.mail[i] = make(chan Message, 1024)
+	}
+	return w, nil
+}
+
+// Rank is the per-process handle used inside a rank's goroutine.
+type Rank struct {
+	W  *World
+	ID int
+}
+
+// Rank returns the handle for rank id.
+func (w *World) Rank(id int) (*Rank, error) {
+	if id < 0 || id >= w.Size {
+		return nil, fmt.Errorf("mpisim: rank %d out of range [0,%d)", id, w.Size)
+	}
+	return &Rank{W: w, ID: id}, nil
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them; the first error is returned.
+func (w *World) Run(body func(r *Rank) error) error {
+	errs := make([]error, w.Size)
+	var wg sync.WaitGroup
+	for i := 0; i < w.Size; i++ {
+		r, err := w.Rank(i)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			errs[r.ID] = body(r)
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Send delivers data to rank dst with tag (eager, buffered).
+func (r *Rank) Send(dst, tag int, data []int64) error {
+	if dst < 0 || dst >= r.W.Size {
+		return fmt.Errorf("mpisim: send to invalid rank %d", dst)
+	}
+	cp := append([]int64(nil), data...)
+	r.W.mail[dst] <- Message{Source: r.ID, Tag: tag, Data: cp}
+	return nil
+}
+
+// Recv blocks until a message with the given tag arrives from src
+// (src == -1 accepts any source). Mismatched messages are requeued.
+func (r *Rank) Recv(src, tag int) (Message, error) {
+	var stash []Message
+	defer func() {
+		for _, m := range stash {
+			r.W.mail[r.ID] <- m
+		}
+	}()
+	for i := 0; i < 1<<20; i++ {
+		m := <-r.W.mail[r.ID]
+		if (src == -1 || m.Source == src) && m.Tag == tag {
+			return m, nil
+		}
+		stash = append(stash, m)
+	}
+	return Message{}, fmt.Errorf("mpisim: rank %d starved waiting for src=%d tag=%d", r.ID, src, tag)
+}
+
+// Barrier synchronizes all ranks.
+func (r *Rank) Barrier() { r.W.barrier.wait() }
+
+// Bcast distributes root's data to every rank; all ranks receive a copy.
+func (r *Rank) Bcast(root int, data []int64) ([]int64, error) {
+	if r.ID == root {
+		for dst := 0; dst < r.W.Size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.Send(dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return append([]int64(nil), data...), nil
+	}
+	m, err := r.Recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Allreduce sums element-wise contributions across all ranks and returns
+// the reduced vector on every rank.
+func (r *Rank) Allreduce(data []int64) ([]int64, error) {
+	// Gather to rank 0, reduce, broadcast back: semantically equivalent to
+	// the tree algorithms whose cost the analytic model captures.
+	const root = 0
+	if r.ID != root {
+		if err := r.Send(root, tagReduce, data); err != nil {
+			return nil, err
+		}
+		m, err := r.Recv(root, tagBcast)
+		if err != nil {
+			return nil, err
+		}
+		return m.Data, nil
+	}
+	acc := append([]int64(nil), data...)
+	for i := 1; i < r.W.Size; i++ {
+		m, err := r.Recv(-1, tagReduce)
+		if err != nil {
+			return nil, err
+		}
+		if len(m.Data) != len(acc) {
+			return nil, fmt.Errorf("mpisim: allreduce length mismatch %d != %d", len(m.Data), len(acc))
+		}
+		for j := range acc {
+			acc[j] += m.Data[j]
+		}
+	}
+	for dst := 1; dst < r.W.Size; dst++ {
+		if err := r.Send(dst, tagBcast, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Gather collects every rank's vector on root (others get nil).
+func (r *Rank) Gather(root int, data []int64) ([][]int64, error) {
+	if r.ID != root {
+		return nil, r.Send(root, tagGather, data)
+	}
+	out := make([][]int64, r.W.Size)
+	out[root] = append([]int64(nil), data...)
+	for i := 0; i < r.W.Size-1; i++ {
+		m, err := r.Recv(-1, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Source] = m.Data
+	}
+	return out, nil
+}
+
+const (
+	tagBcast = -100 - iota
+	tagReduce
+	tagGather
+)
+
+// CostModel is the analytical communication cost model: alpha latency
+// (seconds), beta inverse bandwidth (seconds per element).
+type CostModel struct {
+	Alpha float64
+	Beta  float64
+}
+
+// DefaultCost uses values representative of a commodity cluster
+// interconnect: 1.5us latency, 8 bytes per element at 10 GB/s.
+func DefaultCost() CostModel {
+	return CostModel{Alpha: 1.5e-6, Beta: 8.0 / 10e9}
+}
+
+// P2P returns alpha + beta*m for an m-element point-to-point message.
+func (c CostModel) P2P(m float64) float64 { return c.Alpha + c.Beta*m }
+
+// Barrier returns alpha*ceil(log2 p) for a dissemination barrier.
+func (c CostModel) Barrier(p float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return c.Alpha * math.Ceil(math.Log2(p))
+}
+
+// Bcast returns (alpha + beta*m)*ceil(log2 p) for a binomial-tree
+// broadcast (Thakur et al.).
+func (c CostModel) Bcast(p, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return (c.Alpha + c.Beta*m) * math.Ceil(math.Log2(p))
+}
+
+// Allreduce returns 2*(alpha + beta*m)*ceil(log2 p), the
+// reduce-then-broadcast tree bound.
+func (c CostModel) Allreduce(p, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return 2 * (c.Alpha + c.Beta*m) * math.Ceil(math.Log2(p))
+}
+
+// Gather returns alpha*log2(p) + beta*m*(p-1), linear in p for the data
+// term (the root receives p-1 messages).
+func (c CostModel) Gather(p, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return c.Alpha*math.Ceil(math.Log2(p)) + c.Beta*m*(p-1)
+}

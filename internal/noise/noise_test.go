@@ -1,0 +1,88 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuietIsExact(t *testing.T) {
+	s := Quiet()
+	for _, v := range []float64{0, 1, 3.5, 1e9} {
+		if got := s.Perturb(v); got != v {
+			t.Fatalf("Quiet().Perturb(%g) = %g", v, got)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(42, 0.05, 1e-3).Repeat(100, 10)
+	b := New(42, 0.05, 1e-3).Repeat(100, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %g != %g", i, a[i], b[i])
+		}
+	}
+	c := New(43, 0.05, 1e-3).Repeat(100, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestNeverNegative(t *testing.T) {
+	prop := func(seed int64, v uint8) bool {
+		s := New(seed, 0.5, 1)
+		for i := 0; i < 50; i++ {
+			if s.Perturb(float64(v)) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeNoiseScale(t *testing.T) {
+	s := New(7, 0.05, 0)
+	vals := s.Repeat(1000, 2000)
+	mean, ss := 0.0, 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(vals)-1))
+	if math.Abs(mean-1000) > 10 {
+		t.Fatalf("mean = %g, want ~1000", mean)
+	}
+	if sd < 30 || sd > 70 {
+		t.Fatalf("stddev = %g, want ~50 (5%%)", sd)
+	}
+}
+
+func TestFloorDominatesSmallValues(t *testing.T) {
+	// With a 1ms floor, a 1us measurement is mostly noise — the mechanism
+	// behind the paper's unreliable short functions.
+	s := New(9, 0, 1e-3)
+	vals := s.Repeat(1e-6, 500)
+	varied := 0
+	for _, v := range vals {
+		if math.Abs(v-1e-6) > 1e-7 {
+			varied++
+		}
+	}
+	if varied < 450 {
+		t.Fatalf("floor noise too weak: only %d/500 perturbed", varied)
+	}
+}

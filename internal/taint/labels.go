@@ -1,0 +1,161 @@
+// Package taint implements the dynamic taint machinery of Perf-Taint: a
+// DataFlowSanitizer-style label table (16-bit identifiers, union tree with
+// deduplication), plus the recording side of the analysis — loop-exit sinks
+// with call-path context, branch coverage, and iteration counts. The
+// mechanical propagation of labels through instructions is performed by the
+// interpreter (internal/interp), mirroring how DFSan's transformation pass
+// instruments each instruction while its runtime manages labels.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label identifies a set of input parameters. Label 0 is "untainted".
+// As in DataFlowSanitizer, identifiers are 16 bits wide, bounding a run at
+// 65535 distinct labels.
+type Label uint16
+
+// None is the empty (untainted) label.
+const None Label = 0
+
+// MaxBaseLabels bounds the number of distinct parameter names; expansions
+// are stored as 64-bit masks for O(1) union deduplication, which covers all
+// realistic modeling setups (the paper's apps use at most nine parameters).
+const MaxBaseLabels = 64
+
+// Table allocates and joins labels. Each non-base label is the union of two
+// existing labels, forming the tree-like structure described in Section 5.2;
+// the table additionally verifies that operands do not represent an
+// equivalent combination before allocating a new identifier.
+type Table struct {
+	names   []string            // base label names, index = base ordinal
+	byName  map[string]Label    // base name -> label id
+	masks   []uint64            // label id -> expansion bitmask over base ordinals
+	parents [][2]Label          // label id -> the two joined labels (0,0 for base)
+	byMask  map[uint64]Label    // expansion -> canonical label id
+	baseOrd map[Label]int       // base label id -> ordinal
+	unions  map[[2]Label]Label  // memo for Union fast path
+}
+
+// NewTable returns an empty label table.
+func NewTable() *Table {
+	t := &Table{
+		byName:  make(map[string]Label),
+		byMask:  make(map[uint64]Label),
+		baseOrd: make(map[Label]int),
+		unions:  make(map[[2]Label]Label),
+	}
+	// Reserve id 0 for the empty label.
+	t.names = append(t.names, "")
+	t.masks = append(t.masks, 0)
+	t.parents = append(t.parents, [2]Label{})
+	t.byMask[0] = None
+	return t
+}
+
+func (t *Table) alloc(name string, mask uint64, p0, p1 Label) Label {
+	id := Label(len(t.masks))
+	if int(id) != len(t.masks) {
+		panic("taint: label identifier space (16 bit) exhausted")
+	}
+	t.names = append(t.names, name)
+	t.masks = append(t.masks, mask)
+	t.parents = append(t.parents, [2]Label{p0, p1})
+	return id
+}
+
+// Base returns the label for parameter name, allocating it on first use.
+func (t *Table) Base(name string) Label {
+	if l, ok := t.byName[name]; ok {
+		return l
+	}
+	ord := len(t.byName)
+	if ord >= MaxBaseLabels {
+		panic(fmt.Sprintf("taint: more than %d base labels", MaxBaseLabels))
+	}
+	mask := uint64(1) << uint(ord)
+	l := t.alloc(name, mask, 0, 0)
+	t.byName[name] = l
+	t.byMask[mask] = l
+	t.baseOrd[l] = ord
+	return l
+}
+
+// NumLabels returns the number of allocated labels including label 0.
+func (t *Table) NumLabels() int { return len(t.masks) }
+
+// NumBase returns the number of distinct base labels.
+func (t *Table) NumBase() int { return len(t.byName) }
+
+// Union joins two labels, reusing an existing identifier when the combined
+// parameter set already has one (the deduplication step of Section 5.2).
+func (t *Table) Union(a, b Label) Label {
+	if a == b || b == None {
+		return a
+	}
+	if a == None {
+		return b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Label{a, b}
+	if l, ok := t.unions[key]; ok {
+		return l
+	}
+	mask := t.masks[a] | t.masks[b]
+	l, ok := t.byMask[mask]
+	if !ok {
+		l = t.alloc("", mask, a, b)
+		t.byMask[mask] = l
+	}
+	t.unions[key] = l
+	return l
+}
+
+// Has reports whether label l includes base label base.
+func (t *Table) Has(l, base Label) bool {
+	if l == None {
+		return false
+	}
+	return t.masks[l]&t.masks[base] == t.masks[base]
+}
+
+// Mask returns the base-ordinal bitmask of l.
+func (t *Table) Mask(l Label) uint64 { return t.masks[l] }
+
+// Parents returns the two labels whose union produced l; base labels and
+// label 0 return (0, 0).
+func (t *Table) Parents(l Label) (Label, Label) {
+	p := t.parents[l]
+	return p[0], p[1]
+}
+
+// Expand returns the sorted parameter names contained in l.
+func (t *Table) Expand(l Label) []string {
+	if l == None {
+		return nil
+	}
+	mask := t.masks[l]
+	var out []string
+	for name, bl := range t.byName {
+		if mask&t.masks[bl] != 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpandString renders l as a sorted comma-joined parameter list.
+func (t *Table) ExpandString(l Label) string {
+	return strings.Join(t.Expand(l), ",")
+}
+
+// LabelOf returns the label currently assigned to parameter name, or None.
+func (t *Table) LabelOf(name string) Label {
+	return t.byName[name]
+}

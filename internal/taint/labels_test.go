@@ -1,0 +1,148 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseLabelsDistinctAndStable(t *testing.T) {
+	tb := NewTable()
+	p := tb.Base("p")
+	size := tb.Base("size")
+	if p == size {
+		t.Fatal("distinct parameters share a label")
+	}
+	if tb.Base("p") != p {
+		t.Fatal("Base not idempotent")
+	}
+	if tb.NumBase() != 2 {
+		t.Fatalf("NumBase = %d, want 2", tb.NumBase())
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	tb := NewTable()
+	p := tb.Base("p")
+	s := tb.Base("size")
+
+	if got := tb.Union(p, None); got != p {
+		t.Fatalf("Union(p, None) = %d, want %d", got, p)
+	}
+	if got := tb.Union(None, s); got != s {
+		t.Fatalf("Union(None, s) = %d, want %d", got, s)
+	}
+	ps := tb.Union(p, s)
+	if ps == p || ps == s || ps == None {
+		t.Fatal("union of distinct labels must be a fresh label")
+	}
+	if !tb.Has(ps, p) || !tb.Has(ps, s) {
+		t.Fatal("union must include both bases")
+	}
+}
+
+func TestUnionDeduplicatesEquivalentCombinations(t *testing.T) {
+	tb := NewTable()
+	p := tb.Base("p")
+	s := tb.Base("size")
+	n := tb.Base("niter")
+
+	a := tb.Union(tb.Union(p, s), n)
+	bl := tb.Union(tb.Union(n, p), s)
+	c := tb.Union(p, tb.Union(s, n))
+	if a != bl || bl != c {
+		t.Fatalf("equivalent combinations got distinct ids: %d %d %d", a, bl, c)
+	}
+	// Re-unioning must not allocate.
+	before := tb.NumLabels()
+	_ = tb.Union(a, s)
+	if tb.NumLabels() != before {
+		t.Fatal("Union(a, subset) allocated a new label")
+	}
+}
+
+func TestExpandSortsNames(t *testing.T) {
+	tb := NewTable()
+	z := tb.Base("z")
+	a := tb.Base("a")
+	u := tb.Union(z, a)
+	got := tb.Expand(u)
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("Expand = %v, want [a z]", got)
+	}
+	if s := tb.ExpandString(u); s != "a,z" {
+		t.Fatalf("ExpandString = %q", s)
+	}
+	if tb.Expand(None) != nil {
+		t.Fatal("Expand(None) should be nil")
+	}
+}
+
+func TestParentsTreeStructure(t *testing.T) {
+	tb := NewTable()
+	p := tb.Base("p")
+	s := tb.Base("size")
+	u := tb.Union(p, s)
+	a, b := tb.Parents(u)
+	if a != p || b != s {
+		t.Fatalf("Parents(u) = (%d,%d), want (%d,%d)", a, b, p, s)
+	}
+	if a, b := tb.Parents(p); a != 0 || b != 0 {
+		t.Fatal("base label should have zero parents")
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	tb := NewTable()
+	p := tb.Base("p")
+	if tb.LabelOf("p") != p {
+		t.Fatal("LabelOf(p) mismatch")
+	}
+	if tb.LabelOf("unknown") != None {
+		t.Fatal("LabelOf(unknown) should be None")
+	}
+}
+
+// Property: union is commutative, associative, and idempotent over a pool of
+// base labels, with identical canonical identifiers for equal sets.
+func TestUnionAlgebraProperties(t *testing.T) {
+	tb := NewTable()
+	names := []string{"p", "size", "nx", "ny", "nz", "nt", "steps", "niter"}
+	base := make([]Label, len(names))
+	for i, n := range names {
+		base[i] = tb.Base(n)
+	}
+	pick := func(i uint8) Label { return base[int(i)%len(base)] }
+
+	comm := func(i, j uint8) bool {
+		return tb.Union(pick(i), pick(j)) == tb.Union(pick(j), pick(i))
+	}
+	assoc := func(i, j, k uint8) bool {
+		l := tb.Union(tb.Union(pick(i), pick(j)), pick(k))
+		r := tb.Union(pick(i), tb.Union(pick(j), pick(k)))
+		return l == r
+	}
+	idem := func(i uint8) bool {
+		return tb.Union(pick(i), pick(i)) == pick(i)
+	}
+	for name, prop := range map[string]interface{}{"comm": comm, "assoc": assoc, "idem": idem} {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMaskSubsetProperty(t *testing.T) {
+	tb := NewTable()
+	a := tb.Base("a")
+	b := tb.Base("b")
+	c := tb.Base("c")
+	u := tb.Union(a, tb.Union(b, c))
+	for _, l := range []Label{a, b, c} {
+		if tb.Mask(u)&tb.Mask(l) != tb.Mask(l) {
+			t.Fatalf("mask of union missing base %d", l)
+		}
+	}
+	if tb.Has(a, b) {
+		t.Fatal("disjoint bases must not include each other")
+	}
+}

@@ -1,0 +1,83 @@
+// Package perftaint is the public API of the Perf-Taint reproduction: a
+// hybrid performance-modeling framework that feeds dynamic taint analysis
+// results (which input parameters can affect which loops and library calls)
+// into an Extra-P-style empirical modeler, reproducing "Extracting Clean
+// Performance Models from Tainted Programs" (PPoPP 2021).
+//
+// Typical use:
+//
+//	spec := perftaint.LULESH()
+//	rep, err := perftaint.Analyze(spec, perftaint.LULESHTaintConfig())
+//	...
+//	prior := rep.Prior("CalcQForElems", []string{"p", "size"})
+//	model, err := perftaint.FitWithPrior(dataset, prior)
+//
+// The heavy lifting lives in the internal packages; this facade re-exports
+// the stable surface used by the examples and command-line tools.
+package perftaint
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/extrap"
+)
+
+// Re-exported core types.
+type (
+	// Spec is a declarative application description from which both the
+	// analyzable IR program and the analytic ground truth derive.
+	Spec = apps.Spec
+	// Config assigns concrete values to application parameters (plus the
+	// implicit MPI parameter "p").
+	Config = apps.Config
+	// Report is the result of a Perf-Taint analysis: static pruning,
+	// dynamic taint dependencies, symbolic volumes, and modeling priors.
+	Report = core.Report
+	// Census carries the Table 2 style pruning statistics.
+	Census = core.Census
+	// Dataset is a set of repeated measurements over named parameters.
+	Dataset = extrap.Dataset
+	// Model is a fitted performance-model-normal-form instance.
+	Model = extrap.Model
+	// Prior is the white-box restriction on the model search space.
+	Prior = extrap.Prior
+)
+
+// Analyze runs the full Perf-Taint pipeline (build, static prune, tainted
+// execution, dependency aggregation) on spec at the given configuration.
+func Analyze(spec *Spec, cfg Config) (*Report, error) {
+	return core.Analyze(spec, cfg)
+}
+
+// LULESH returns the bundled LULESH proxy-app specification.
+func LULESH() *Spec { return apps.LULESH() }
+
+// MILC returns the bundled MILC su3_rmd specification.
+func MILC() *Spec { return apps.MILC() }
+
+// LULESHTaintConfig is the paper's LULESH taint-run configuration
+// (size 5, 8 ranks).
+func LULESHTaintConfig() Config { return apps.LULESHTaintConfig() }
+
+// MILCTaintConfig is the paper's MILC taint-run configuration
+// (size 128, 32 ranks).
+func MILCTaintConfig() Config { return apps.MILCTaintConfig() }
+
+// NewDataset declares a measurement dataset over the given parameters.
+func NewDataset(params ...string) *Dataset { return extrap.NewDataset(params...) }
+
+// Fit runs the black-box Extra-P model search on d.
+func Fit(d *Dataset) (*Model, error) {
+	return extrap.ModelMulti(d, extrap.DefaultOptions(), nil)
+}
+
+// FitWithPrior runs the hybrid (taint-informed) model search on d.
+func FitWithPrior(d *Dataset, prior *Prior) (*Model, error) {
+	return extrap.ModelMulti(d, extrap.DefaultOptions(), prior)
+}
+
+// FitSingle fits a single-parameter model, the building block of the
+// multi-parameter heuristic.
+func FitSingle(d *Dataset, param string) (*Model, error) {
+	return extrap.ModelSingle(d, param, extrap.DefaultOptions())
+}

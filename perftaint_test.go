@@ -1,0 +1,69 @@
+package perftaint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	spec := LULESH()
+	rep, err := Analyze(spec, LULESHTaintConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Census([]string{"p", "size"}).FunctionsTotal; got != 356 {
+		t.Fatalf("census total = %d, want 356", got)
+	}
+
+	d := NewDataset("p", "size")
+	for _, p := range []float64{27, 64, 125, 343, 729} {
+		for _, s := range []float64{25, 30, 35, 40, 45} {
+			v := 2.4e-8 * math.Pow(p, 0.25) * s * s * s
+			d.Add(map[string]float64{"p": p, "size": s}, v)
+		}
+	}
+	prior := rep.Prior("CalcQForElems", []string{"p", "size"})
+	m, err := FitWithPrior(d, prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Multiplicative() {
+		t.Fatalf("expected multiplicative model, got %s", m)
+	}
+	got := m.Eval(map[string]float64{"p": 1000, "size": 50})
+	want := 2.4e-8 * math.Pow(1000, 0.25) * 50 * 50 * 50
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("extrapolation %g, want %g (model %s)", got, want, m)
+	}
+}
+
+func TestFacadeBlackBoxFit(t *testing.T) {
+	d := NewDataset("x")
+	for _, x := range []float64{2, 4, 8, 16, 32} {
+		d.Add(map[string]float64{"x": x}, 5*x)
+	}
+	m, err := Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsConstant() {
+		t.Fatalf("linear data fitted constant: %s", m)
+	}
+	ms, err := FitSingle(d, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.IsConstant() {
+		t.Fatalf("single fit constant: %s", ms)
+	}
+}
+
+func TestFacadeMILC(t *testing.T) {
+	rep, err := Analyze(MILC(), MILCTaintConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Census([]string{"p", "size"}).FunctionsTotal; got != 629 {
+		t.Fatalf("census total = %d, want 629", got)
+	}
+}
