@@ -10,6 +10,7 @@ import (
 	"repro/internal/extrap"
 	"repro/internal/interp"
 	"repro/internal/libdb"
+	"repro/internal/runner"
 	"repro/internal/taint"
 )
 
@@ -141,6 +142,79 @@ func BenchmarkValidation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Validation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- batch runner benchmarks ---
+
+// batchSweep is the 8-config LULESH grid the batch benchmarks share.
+func batchSweep() (*apps.Spec, []apps.Config) {
+	d := runner.Design{
+		Spec:     apps.LULESH(),
+		Defaults: apps.LULESHTaintConfig(),
+		Axes: []runner.Axis{
+			{Param: "p", Values: []float64{2, 4, 8, 16}},
+			{Param: "size", Values: []float64{5, 6}},
+		},
+	}
+	return d.Spec, d.Configs()
+}
+
+// BenchmarkBatchAnalyze measures the worker-pool batch: one shared
+// preparation (module build, verification, static pass), dynamic runs
+// fanned across GOMAXPROCS. Compare against BenchmarkSequentialAnalyze —
+// the acceptance target is >1.5x at 4+ cores.
+func BenchmarkBatchAnalyze(b *testing.B) {
+	spec, cfgs := batchSweep()
+	r := runner.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.AnalyzeBatch(spec, cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := runner.FirstErr(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialAnalyze is the pre-runner flow: each configuration
+// rebuilds the module and re-runs the static pass.
+func BenchmarkSequentialAnalyze(b *testing.B) {
+	spec, cfgs := batchSweep()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			if _, err := core.Analyze(spec, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the paper's 25-point LULESH modeling design
+// (Table 2 grid at the cheap taint-run size) through Runner.Sweep.
+func BenchmarkSweepParallel(b *testing.B) {
+	ps, _ := apps.LULESHModelValues()
+	d := runner.Design{
+		Spec:     apps.LULESH(),
+		Defaults: apps.LULESHTaintConfig(),
+		Axes: []runner.Axis{
+			{Param: "p", Values: ps},
+			{Param: "size", Values: []float64{4, 5, 6, 7, 8}},
+		},
+	}
+	r := runner.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Sweep(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := runner.FirstErr(res); err != nil {
 			b.Fatal(err)
 		}
 	}

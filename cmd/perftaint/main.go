@@ -16,14 +16,14 @@ import (
 )
 
 type jsonReport struct {
-	App          string                     `json:"app"`
-	Census       core.Census                `json:"census"`
-	FuncDeps     map[string][]string        `json:"function_dependencies"`
-	Volumes      map[string]string          `json:"volumes"`
-	Relevant     []string                   `json:"instrumentation_filter"`
-	Selections   []string                   `json:"tainted_selections"`
-	Recursion    []string                   `json:"recursion_warnings"`
-	Instructions int64                      `json:"tainted_run_instructions"`
+	App          string              `json:"app"`
+	Census       core.Census         `json:"census"`
+	FuncDeps     map[string][]string `json:"function_dependencies"`
+	Volumes      map[string]string   `json:"volumes"`
+	Relevant     []string            `json:"instrumentation_filter"`
+	Selections   []string            `json:"tainted_selections"`
+	Recursion    []string            `json:"recursion_warnings"`
+	Instructions int64               `json:"tainted_run_instructions"`
 }
 
 func main() {

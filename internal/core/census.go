@@ -17,10 +17,10 @@ type Census struct {
 	CommRoutines      int
 	MPIFunctions      int
 
-	LoopsTotal           int
-	LoopsPrunedStatic    int
-	LoopsRelevant        int
-	LoopsUntaintedOther  int
+	LoopsTotal          int
+	LoopsPrunedStatic   int
+	LoopsRelevant       int
+	LoopsUntaintedOther int
 
 	// PercentConstant is the share of functions classified constant
 	// (statically or dynamically pruned): 86.2% for LULESH, 87.7% for MILC.

@@ -7,13 +7,11 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/apps"
 	"repro/internal/cfg"
 	"repro/internal/extrap"
-	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/libdb"
 	"repro/internal/loopmodel"
@@ -54,91 +52,20 @@ type Report struct {
 
 // Analyze builds the module from spec, runs the static pass and the tainted
 // execution at cfg, and assembles the report. cfg must contain every spec
-// parameter plus p.
+// parameter plus p. For repeated analyses of one spec at many
+// configurations, Prepare once and call Prepared.Analyze per configuration
+// (or use internal/runner to fan out across cores).
 func Analyze(spec *apps.Spec, cfg apps.Config) (*Report, error) {
-	db := libdb.DefaultMPI()
-	mod, err := apps.BuildModule(spec)
+	p, err := Prepare(spec)
 	if err != nil {
-		return nil, fmt.Errorf("core: build module: %w", err)
+		return nil, err
 	}
-	if err := ir.VerifyModule(mod, func(name string) bool {
-		_, ok := db.Lookup(name)
-		return ok
-	}); err != nil {
-		return nil, fmt.Errorf("core: verify module: %w", err)
-	}
-	return AnalyzeModule(spec, mod, db, cfg)
+	return p.Analyze(cfg)
 }
 
 // AnalyzeModule runs the pipeline on an already built module.
 func AnalyzeModule(spec *apps.Spec, mod *ir.Module, db *libdb.DB, cfg apps.Config) (*Report, error) {
-	r := &Report{Spec: spec, Module: mod, DB: db}
-
-	// Stage 1: static analysis.
-	r.Static = scev.AnalyzeModule(mod, db.Relevant)
-
-	// Stage 2: dynamic taint analysis.
-	engine := taint.NewEngine()
-	mach := interp.NewMachine(mod)
-	mach.Taint = engine
-	mach.Fuel = 4_000_000_000
-	pVal := int64(cfg["p"])
-	if pVal <= 0 {
-		return nil, fmt.Errorf("core: config missing implicit parameter p")
-	}
-	db.Bind(mach, engine, libdb.RunConfig{CommSize: pVal, Rank: 0})
-
-	labels := make([]taint.Label, len(spec.Params))
-	for i, p := range spec.Params {
-		labels[i] = engine.Table.Base(p)
-	}
-	res, err := mach.Run("main", apps.TaintArgs(spec, cfg), labels)
-	if err != nil {
-		return nil, fmt.Errorf("core: tainted run: %w", err)
-	}
-	r.Engine = engine
-	r.Instructions = res.Instructions
-
-	// Stage 3: aggregation. FuncDeps is transitive over the call graph:
-	// the paper's models are calling-context profiles, so a function whose
-	// callee communicates inherits the callee's parametric dependencies
-	// (CalcQForElems inherits p from the boundary exchange it triggers).
-	r.LoopDeps = engine.FuncLoopDeps()
-	r.LibDeps = engine.FuncLibDeps()
-	r.FuncDeps = propagateDeps(mod, unionDeps(r.LoopDeps, r.LibDeps))
-
-	// Stage 4: symbolic volumes with static trip counts and library shapes.
-	loopDepFn := func(fn string, loopID int) []string {
-		l := taint.None
-		for k, rec := range engine.Loops {
-			if k.Func == fn && k.LoopID == loopID {
-				l = engine.Table.Union(l, rec.Labels)
-			}
-		}
-		return engine.Table.Expand(l)
-	}
-	tripFn := func(fn string, loopID int) (int64, bool) {
-		fc := r.Static[fn]
-		if fc == nil {
-			return 0, false
-		}
-		tc, ok := fc.Loops[loopID]
-		if !ok || !tc.Constant {
-			return 0, false
-		}
-		return tc.Count, true
-	}
-	r.Volumes = loopmodel.Compute(mod, loopDepFn, tripFn, db.ExternVolume())
-
-	// Stage 5: relevance (the taint-based instrumentation filter).
-	r.Relevant = make(map[string]bool)
-	for fn, deps := range r.FuncDeps {
-		if len(deps) > 0 {
-			r.Relevant[fn] = true
-		}
-	}
-	r.Relevant[spec.Main().Name] = true
-	return r, nil
+	return PrepareModule(spec, mod, db).Analyze(cfg)
 }
 
 // propagateDeps folds callee dependencies into callers bottom-up.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // Context shares the expensive analyses (taint runs) across experiments.
@@ -23,59 +24,91 @@ type Context struct {
 	LULESH *core.Report
 	MILC   *core.Report
 
+	// LPrep and MPrep cache the per-spec artifacts (module, verification,
+	// static pass) so experiments can batch further configurations without
+	// re-preparing.
+	LPrep *core.Prepared
+	MPrep *core.Prepared
+
 	LRunner *cluster.Runner
 	MRunner *cluster.Runner
+
+	// Batch fans multi-configuration analyses and independent experiment
+	// stages out across cores.
+	Batch *runner.Runner
+
+	// Workers bounds intra-experiment parallelism (model fitting, overhead
+	// grids); <= 0 means GOMAXPROCS.
+	Workers int
 
 	// ModelParams is the two-parameter modeling choice of the paper.
 	ModelParams []string
 }
 
-// NewContext runs both taint analyses at the paper's configurations.
-func NewContext() (*Context, error) {
-	lspec := apps.LULESH()
-	lrep, err := core.Analyze(lspec, apps.LULESHTaintConfig())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: lulesh analysis: %w", err)
-	}
-	mspec := apps.MILC()
-	mrep, err := core.Analyze(mspec, apps.MILCTaintConfig())
-	if err != nil {
-		return nil, fmt.Errorf("experiments: milc analysis: %w", err)
-	}
-	return &Context{
-		LULESH:      lrep,
-		MILC:        mrep,
-		LRunner:     cluster.NewRunner(lspec),
-		MRunner:     cluster.NewRunner(mspec),
+// NewContext runs both taint analyses at the paper's configurations,
+// saturating the available cores.
+func NewContext() (*Context, error) { return NewContextWorkers(0) }
+
+// NewContextWorkers is NewContext with an explicit concurrency bound
+// (<= 0 means GOMAXPROCS).
+func NewContextWorkers(workers int) (*Context, error) {
+	c := &Context{
+		Batch:       &runner.Runner{Workers: workers},
+		Workers:     workers,
 		ModelParams: []string{"p", "size"},
-	}, nil
+	}
+	specs := []*apps.Spec{apps.LULESH(), apps.MILC()}
+	taintCfgs := []apps.Config{apps.LULESHTaintConfig(), apps.MILCTaintConfig()}
+	preps := make([]*core.Prepared, len(specs))
+	reps := make([]*core.Report, len(specs))
+	errs := make([]error, len(specs))
+	runner.Map(c.Batch.Workers, len(specs), func(i int) {
+		p, err := core.Prepare(specs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		preps[i] = p
+		res := c.Batch.AnalyzeBatchPrepared(p, []apps.Config{taintCfgs[i]})
+		reps[i], errs[i] = res[0].Report, res[0].Err
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s analysis: %w", specs[i].Name, err)
+		}
+	}
+	c.LPrep, c.MPrep = preps[0], preps[1]
+	c.LULESH, c.MILC = reps[0], reps[1]
+	c.LRunner = cluster.NewRunner(specs[0])
+	c.MRunner = cluster.NewRunner(specs[1])
+	return c, nil
+}
+
+// LULESHDesign is the 25-point p × size modeling design of Table 2 as a
+// batch sweep.
+func (c *Context) LULESHDesign() runner.Design {
+	ps, sizes := apps.LULESHModelValues()
+	return runner.Design{
+		Spec:     apps.LULESH(),
+		Defaults: apps.LULESHDefaults(),
+		Axes:     []runner.Axis{{Param: "p", Values: ps}, {Param: "size", Values: sizes}},
+	}
+}
+
+// MILCDesign is the MILC modeling design as a batch sweep.
+func (c *Context) MILCDesign() runner.Design {
+	ps, sizes := apps.MILCModelValues()
+	return runner.Design{
+		Spec:     apps.MILC(),
+		Defaults: apps.MILCDefaults(),
+		Axes:     []runner.Axis{{Param: "p", Values: ps}, {Param: "size", Values: sizes}},
+	}
 }
 
 // luleshSweep is the 25-point modeling design of Table 2.
-func (c *Context) luleshSweep() []apps.Config {
-	ps, sizes := apps.LULESHModelValues()
-	defaults := apps.LULESHDefaults()
-	return crossWithP(defaults, ps, sizes)
-}
+func (c *Context) luleshSweep() []apps.Config { return c.LULESHDesign().Configs() }
 
-func (c *Context) milcSweep() []apps.Config {
-	ps, sizes := apps.MILCModelValues()
-	defaults := apps.MILCDefaults()
-	return crossWithP(defaults, ps, sizes)
-}
-
-func crossWithP(defaults apps.Config, ps, sizes []float64) []apps.Config {
-	var out []apps.Config
-	for _, p := range ps {
-		for _, s := range sizes {
-			cfg := defaults.Clone()
-			cfg["p"] = p
-			cfg["size"] = s
-			out = append(out, cfg)
-		}
-	}
-	return out
-}
+func (c *Context) milcSweep() []apps.Config { return c.MILCDesign().Configs() }
 
 // table renders rows of label/paper/measured triples.
 type table struct {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/loopmodel"
+	"repro/internal/runner"
 )
 
 // DesignResult reproduces A2: the experiment-design reduction enabled by
@@ -27,22 +28,36 @@ type DesignResult struct {
 	ReducedFixingGlobal int
 }
 
-// DesignReduction evaluates the design reduction on both applications.
+// DesignReduction evaluates the design reduction on both applications,
+// one batch job per application.
 func DesignReduction(c *Context) []*DesignResult {
-	points := 5
-	var out []*DesignResult
-	{
-		st := c.LULESH.Structure("main")
+	const points = 5
+	apps := []struct {
+		name string
+		rep  interface {
+			Structure(string) loopmodel.Structure
+		}
+		// checkIters enables the paper's A2 corner case (LULESH only).
+		checkIters bool
+	}{
+		{"LULESH", c.LULESH, true},
+		{"MILC", c.MILC, false},
+	}
+	out := make([]*DesignResult, len(apps))
+	runner.Map(c.Workers, len(apps), func(i int) {
+		st := apps[i].rep.Structure("main")
 		pts := make(map[string]int)
 		for _, p := range st.Params() {
 			pts[p] = points
 		}
 		r := &DesignResult{
-			App:                 "LULESH",
-			Structure:           st,
-			Full:                loopmodel.FullFactorialExperiments(st, pts),
-			Reduced:             loopmodel.RequiredExperiments(st, pts),
-			ItersMultiplicative: st.Multiplicative("iters", "size") && st.Multiplicative("iters", "p"),
+			App:       apps[i].name,
+			Structure: st,
+			Full:      loopmodel.FullFactorialExperiments(st, pts),
+			Reduced:   loopmodel.RequiredExperiments(st, pts),
+		}
+		if apps[i].checkIters {
+			r.ItersMultiplicative = st.Multiplicative("iters", "size") && st.Multiplicative("iters", "p")
 		}
 		r.ReducedFixingGlobal = r.Reduced
 		if r.ItersMultiplicative {
@@ -50,23 +65,8 @@ func DesignReduction(c *Context) []*DesignResult {
 			// dimension from the sweep.
 			r.ReducedFixingGlobal = r.Reduced / points
 		}
-		out = append(out, r)
-	}
-	{
-		st := c.MILC.Structure("main")
-		pts := make(map[string]int)
-		for _, p := range st.Params() {
-			pts[p] = points
-		}
-		r := &DesignResult{
-			App:       "MILC",
-			Structure: st,
-			Full:      loopmodel.FullFactorialExperiments(st, pts),
-			Reduced:   loopmodel.RequiredExperiments(st, pts),
-		}
-		r.ReducedFixingGlobal = r.Reduced
-		out = append(out, r)
-	}
+		out[i] = r
+	})
 	return out
 }
 

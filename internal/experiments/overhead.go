@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/measure"
+	"repro/internal/runner"
 )
 
 // OverheadPoint is one (ranks, size, filter) instrumentation measurement.
@@ -30,8 +31,12 @@ type OverheadResult struct {
 	MaxFactor map[measure.Filter]float64
 }
 
-// overheadExperiment sweeps ranks 4..64 on the Skylake-like cluster.
-func overheadExperiment(app string, rep *core.Report, runner *cluster.Runner, defaults apps.Config, sizes []float64) (*OverheadResult, error) {
+// overheadExperiment sweeps ranks 4..64 on the Skylake-like cluster. Every
+// (filter, ranks, size) cell is an independent noise-free measurement, so
+// the grid fans out across workers; cells land in a preallocated slice at
+// their grid index, keeping point order (and the aggregates derived from
+// it) identical to the sequential sweep.
+func overheadExperiment(app string, rep *core.Report, clus *cluster.Runner, defaults apps.Config, sizes []float64, workers int) (*OverheadResult, error) {
 	res := &OverheadResult{
 		App:        app,
 		GeomeanPct: make(map[measure.Filter]float64),
@@ -39,26 +44,42 @@ func overheadExperiment(app string, rep *core.Report, runner *cluster.Runner, de
 	}
 	ranks := []float64{4, 8, 16, 32, 64}
 	filters := []measure.Filter{measure.FilterTaint, measure.FilterDefault, measure.FilterFull}
-	per := make(map[measure.Filter][]float64)
+
+	type cell struct {
+		filter measure.Filter
+		ranks  float64
+		size   float64
+	}
+	var cells []cell
 	for _, f := range filters {
 		for _, p := range ranks {
 			for _, s := range sizes {
-				cfg := defaults.Clone()
-				cfg["p"] = p
-				cfg["size"] = s
-				o, err := measure.MeasureOverhead(runner, cfg, f, rep.Relevant)
-				if err != nil {
-					return nil, err
-				}
-				res.Points = append(res.Points, OverheadPoint{
-					Ranks: p, Size: s, Filter: f, RelativePct: o.RelativePct,
-				})
-				per[f] = append(per[f], o.RelativePct)
-				factor := 1 + o.RelativePct/100
-				if factor > res.MaxFactor[f] {
-					res.MaxFactor[f] = factor
-				}
+				cells = append(cells, cell{f, p, s})
 			}
+		}
+	}
+	overheads := make([]*measure.Overhead, len(cells))
+	errs := make([]error, len(cells))
+	runner.Map(workers, len(cells), func(i int) {
+		cfg := defaults.Clone()
+		cfg["p"] = cells[i].ranks
+		cfg["size"] = cells[i].size
+		overheads[i], errs[i] = measure.MeasureOverhead(clus, cfg, cells[i].filter, rep.Relevant)
+	})
+
+	per := make(map[measure.Filter][]float64)
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		o := overheads[i]
+		res.Points = append(res.Points, OverheadPoint{
+			Ranks: c.ranks, Size: c.size, Filter: c.filter, RelativePct: o.RelativePct,
+		})
+		per[c.filter] = append(per[c.filter], o.RelativePct)
+		factor := 1 + o.RelativePct/100
+		if factor > res.MaxFactor[c.filter] {
+			res.MaxFactor[c.filter] = factor
 		}
 	}
 	for f, vals := range per {
@@ -71,14 +92,14 @@ func overheadExperiment(app string, rep *core.Report, runner *cluster.Runner, de
 func Figure3(c *Context) (*OverheadResult, error) {
 	_, sizes := apps.LULESHModelValues()
 	defaults := apps.LULESHDefaults()
-	return overheadExperiment("LULESH", c.LULESH, c.LRunner, defaults, sizes)
+	return overheadExperiment("LULESH", c.LULESH, c.LRunner, defaults, sizes, c.Workers)
 }
 
 // Figure4 runs the MILC overhead experiment.
 func Figure4(c *Context) (*OverheadResult, error) {
 	_, sizes := apps.MILCModelValues()
 	defaults := apps.MILCDefaults()
-	return overheadExperiment("MILC", c.MILC, c.MRunner, defaults, sizes)
+	return overheadExperiment("MILC", c.MILC, c.MRunner, defaults, sizes, c.Workers)
 }
 
 // String renders the overhead summary.
@@ -129,17 +150,31 @@ func CoreHourCosts(c *Context) ([]*CostResult, error) {
 		fullSet := measure.Select(it.rep.Spec, measure.FilterFull, nil)
 		taintSet := measure.Select(it.rep.Spec, measure.FilterTaint, it.rep.Relevant)
 		const reps = 5
-		for _, cfg := range it.sweep {
-			fh, err := it.runner.CoreHours(cfg, fullSet)
+		// Per-config costs are independent noise-free measurements: fan
+		// them out, then accumulate in sweep order so the float sums stay
+		// bit-identical to the sequential loop.
+		fulls := make([]float64, len(it.sweep))
+		taints := make([]float64, len(it.sweep))
+		errs := make([]error, len(it.sweep))
+		runner.Map(c.Workers, len(it.sweep), func(i int) {
+			fh, err := it.runner.CoreHours(it.sweep[i], fullSet)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
-			th, err := it.runner.CoreHours(cfg, taintSet)
+			th, err := it.runner.CoreHours(it.sweep[i], taintSet)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
-			res.FullHours += reps * fh
-			res.TaintHours += reps * th
+			fulls[i], taints[i] = fh, th
+		})
+		for i := range it.sweep {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			res.FullHours += reps * fulls[i]
+			res.TaintHours += reps * taints[i]
 		}
 		// Taint analysis: one instrumented-interpreter run at the taint
 		// configuration; dynamic taint tracking costs ~20x native.

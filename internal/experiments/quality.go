@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/extrap"
 	"repro/internal/measure"
+	"repro/internal/runner"
 )
 
 // NoiseResult reproduces B1: taint-informed modeling prunes the false
@@ -38,9 +39,9 @@ type NoiseResult struct {
 }
 
 // campaignDatasets builds the 25-point, 5-repetition measurement campaign.
-func campaignDatasets(rep *core.Report, runner *cluster.Runner, sweep []apps.Config, modelParams []string, seed int64) (map[string]*extrap.Dataset, error) {
+func campaignDatasets(rep *core.Report, clus *cluster.Runner, sweep []apps.Config, modelParams []string, seed int64) (map[string]*extrap.Dataset, error) {
 	c := &measure.Campaign{
-		Runner:       runner,
+		Runner:       clus,
 		Sweep:        sweep,
 		Reps:         5,
 		Filter:       measure.FilterFull,
@@ -53,34 +54,41 @@ func campaignDatasets(rep *core.Report, runner *cluster.Runner, sweep []apps.Con
 	return c.Datasets()
 }
 
-// NoiseResilience runs B1 on one application.
-func NoiseResilience(appName string, rep *core.Report, runner *cluster.Runner, sweep []apps.Config, modelParams []string) (*NoiseResult, error) {
-	ds, err := campaignDatasets(rep, runner, sweep, modelParams, 11)
+// NoiseResilience runs B1 on one application. The per-function black-box
+// and hybrid fits are independent, so they fan out across workers
+// (<= 0 means GOMAXPROCS); the counting below stays in sorted function
+// order, keeping the result deterministic.
+func NoiseResilience(appName string, rep *core.Report, clus *cluster.Runner, sweep []apps.Config, modelParams []string, workers int) (*NoiseResult, error) {
+	ds, err := campaignDatasets(rep, clus, sweep, modelParams, 11)
 	if err != nil {
 		return nil, err
 	}
 	res := &NoiseResult{App: appName}
 	opt := extrap.DefaultOptions()
+
+	// The paper filters out data too noisy to model (CoV > 0.1); we keep
+	// everything measurable to count false positives, but skip functions
+	// that never run.
+	var funcs []string
+	var reqs []extrap.Request
 	for _, fn := range measure.SortedFuncs(ds) {
-		if fn == "" {
+		if fn == "" || len(ds[fn].Points) == 0 {
 			continue
 		}
-		d := ds[fn]
-		// The paper filters out data too noisy to model (CoV > 0.1); we keep
-		// everything measurable to count false positives, but skip functions
-		// that never run.
-		if len(d.Points) == 0 {
+		funcs = append(funcs, fn)
+		reqs = append(reqs,
+			extrap.Request{Name: fn, Dataset: ds[fn]},
+			extrap.Request{Name: fn, Dataset: ds[fn], Prior: rep.Prior(fn, modelParams)},
+		)
+	}
+	fits := extrap.FitAll(reqs, opt, workers)
+
+	for i, fn := range funcs {
+		blackBox, hybrid := fits[2*i].Model, fits[2*i+1].Model
+		if fits[2*i].Err != nil || fits[2*i+1].Err != nil {
 			continue
 		}
-		blackBox, err := extrap.ModelMulti(d, opt, nil)
-		if err != nil {
-			continue
-		}
-		prior := rep.Prior(fn, modelParams)
-		hybrid, err := extrap.ModelMulti(d, opt, prior)
-		if err != nil {
-			continue
-		}
+		prior := reqs[2*i+1].Prior // the same prior the hybrid fit used
 		if prior.ForceConstant {
 			res.ConstantTruth++
 			if !blackBox.IsConstant() {
@@ -124,13 +132,14 @@ func sameParams(a, b *extrap.Model) bool {
 	return true
 }
 
-// NoiseResilienceAll runs B1 on both applications.
+// NoiseResilienceAll runs B1 on both applications. Applications run in
+// sequence — each one's fitting already saturates the worker pool.
 func NoiseResilienceAll(c *Context) ([]*NoiseResult, error) {
-	l, err := NoiseResilience("LULESH", c.LULESH, c.LRunner, c.luleshSweep(), c.ModelParams)
+	l, err := NoiseResilience("LULESH", c.LULESH, c.LRunner, c.luleshSweep(), c.ModelParams, c.Workers)
 	if err != nil {
 		return nil, err
 	}
-	m, err := NoiseResilience("MILC", c.MILC, c.MRunner, c.milcSweep(), c.ModelParams)
+	m, err := NoiseResilience("MILC", c.MILC, c.MRunner, c.milcSweep(), c.ModelParams, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +177,7 @@ type IntrusionResult struct {
 	FilteredModel *extrap.Model
 	// FullIsDistorted is true when the full-instrumentation model is not
 	// multiplicative in (p, size) or its magnitude is inflated.
-	FullIsDistorted       bool
+	FullIsDistorted        bool
 	FilteredMultiplicative bool
 	// InflationFactor is mean(full)/mean(filtered) across the design: the
 	// paper observes almost two orders of magnitude.
@@ -186,15 +195,15 @@ func Intrusion(c *Context) (*IntrusionResult, error) {
 
 	run := func(filter measure.Filter, seed int64) (*extrap.Model, float64, error) {
 		camp := &measure.Campaign{
-			Runner:      c.LRunner,
-			Sweep:       sweep,
-			Reps:        5,
-			Filter:      filter,
-			Relevant:    c.LULESH.Relevant,
-			Seed:        seed,
-			RelNoise:    0.02,
+			Runner:       c.LRunner,
+			Sweep:        sweep,
+			Reps:         5,
+			Filter:       filter,
+			Relevant:     c.LULESH.Relevant,
+			Seed:         seed,
+			RelNoise:     0.02,
 			FloorSeconds: 1e-4,
-			ModelParams: c.ModelParams,
+			ModelParams:  c.ModelParams,
 		}
 		ds, err := camp.Datasets()
 		if err != nil {
@@ -216,14 +225,27 @@ func Intrusion(c *Context) (*IntrusionResult, error) {
 		return m, mean, nil
 	}
 
-	full, fullMean, err := run(measure.FilterFull, 21)
-	if err != nil {
-		return nil, err
+	// The two campaigns are independent (each carries its own seeded noise
+	// source), so they run concurrently on the batch pool.
+	var (
+		models [2]*extrap.Model
+		means  [2]float64
+		errs   [2]error
+	)
+	jobs := []struct {
+		filter measure.Filter
+		seed   int64
+	}{{measure.FilterFull, 21}, {measure.FilterTaint, 22}}
+	runner.Map(c.Workers, len(jobs), func(i int) {
+		models[i], means[i], errs[i] = run(jobs[i].filter, jobs[i].seed)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	filt, filtMean, err := run(measure.FilterTaint, 22)
-	if err != nil {
-		return nil, err
-	}
+	full, fullMean := models[0], means[0]
+	filt, filtMean := models[1], means[1]
 
 	res := &IntrusionResult{
 		FullModel:              full,

@@ -76,23 +76,28 @@ func Contention(c *Context) (*ContentionResult, error) {
 		names = append(names, fn)
 	}
 	sort.Strings(names)
+	// Fit the reliable functions concurrently; counting walks the fits in
+	// sorted-name order, so the result is independent of completion order.
+	var reqs []extrap.Request
 	for _, fn := range names {
-		d := ds[fn]
-		if !d.Reliable() {
+		if !ds[fn].Reliable() {
 			continue
 		}
-		res.Sound++
-		m, err := extrap.ModelSingle(d, "r", opt)
-		if err != nil {
+		reqs = append(reqs, extrap.Request{Name: fn, Dataset: ds[fn], Param: "r"})
+	}
+	res.Sound = len(reqs)
+	for _, fit := range extrap.FitAll(reqs, opt, c.Workers) {
+		if fit.Err != nil {
 			continue
 		}
+		m := fit.Model
 		lo := m.Eval(map[string]float64{"r": rs[0]})
 		hi := m.Eval(map[string]float64{"r": rs[len(rs)-1]})
 		if !m.IsConstant() && hi > 1.05*lo {
 			res.Increasing++
-			switch fn {
+			switch fit.Name {
 			case "main", "CalcForceForNodes", "IntegrateStressForElems", "CalcHourglassControlForElems":
-				res.RModels[fn] = m
+				res.RModels[fit.Name] = m
 			}
 		}
 	}
@@ -172,12 +177,6 @@ func Validation(c *Context) (*ValidationResult, error) {
 	}
 
 	opt := extrap.DefaultOptions()
-	full, err := extrap.ModelSingle(d, "p", opt)
-	if err != nil {
-		return nil, err
-	}
-	res := &ValidationResult{FullRangeSMAPE: full.SMAPE}
-
 	split := func(pred func(float64) bool) *extrap.Dataset {
 		out := extrap.NewDataset("p")
 		for _, pt := range d.Points {
@@ -189,11 +188,22 @@ func Validation(c *Context) (*ValidationResult, error) {
 	}
 	low := split(func(p float64) bool { return p < 8 })
 	high := split(func(p float64) bool { return p >= 8 })
-	if lm, err := extrap.ModelSingle(low, "p", opt); err == nil {
-		res.LowSegmentSMAPE = lm.SMAPE
+
+	// One batch: the full-range fit plus the two per-segment fits.
+	fits := extrap.FitAll([]extrap.Request{
+		{Name: "full", Dataset: d, Param: "p"},
+		{Name: "low", Dataset: low, Param: "p"},
+		{Name: "high", Dataset: high, Param: "p"},
+	}, opt, c.Workers)
+	if fits[0].Err != nil {
+		return nil, fits[0].Err
 	}
-	if hm, err := extrap.ModelSingle(high, "p", opt); err == nil {
-		res.HighSegmentSMAPE = hm.SMAPE
+	res := &ValidationResult{FullRangeSMAPE: fits[0].Model.SMAPE}
+	if fits[1].Err == nil {
+		res.LowSegmentSMAPE = fits[1].Model.SMAPE
+	}
+	if fits[2].Err == nil {
+		res.HighSegmentSMAPE = fits[2].Model.SMAPE
 	}
 	res.SegmentedDetected = res.FullRangeSMAPE > 3*(res.LowSegmentSMAPE+res.HighSegmentSMAPE)/2 &&
 		res.FullRangeSMAPE > 0.02

@@ -1,0 +1,42 @@
+package extrap
+
+import "repro/internal/par"
+
+// Request names one model-fitting job of a batch fit: a dataset plus the
+// prior restricting its search space. Repeated-measurement fits of
+// different functions are independent, so FitAll runs them concurrently.
+type Request struct {
+	// Name tags the job (conventionally the function being modeled).
+	Name    string
+	Dataset *Dataset
+	// Param, when non-empty, requests a single-parameter fit over that
+	// parameter (ModelSingle); otherwise the multi-parameter search runs.
+	Param string
+	// Prior is the white-box restriction; nil means black-box.
+	Prior *Prior
+}
+
+// Fit is the outcome of one Request, in request order.
+type Fit struct {
+	Name  string
+	Model *Model
+	Err   error
+}
+
+// FitAll fits every request on at most workers goroutines (workers <= 0
+// means GOMAXPROCS) and returns results in request order. Each fit is
+// independent: a failing request only marks its own Fit.Err.
+func FitAll(reqs []Request, opt Options, workers int) []Fit {
+	out := make([]Fit, len(reqs))
+	par.ForEach(workers, len(reqs), func(i int) {
+		req := reqs[i]
+		f := Fit{Name: req.Name}
+		if req.Param != "" {
+			f.Model, f.Err = ModelSingle(req.Dataset, req.Param, opt)
+		} else {
+			f.Model, f.Err = ModelMulti(req.Dataset, opt, req.Prior)
+		}
+		out[i] = f
+	})
+	return out
+}

@@ -49,10 +49,10 @@ type ExternCall struct {
 type Extern func(c *ExternCall) (Value, error)
 
 type funcInfo struct {
-	fn     *ir.Function
-	graph  *cfg.Graph
-	loops  *cfg.Forest
-	ipdom  []int
+	fn    *ir.Function
+	graph *cfg.Graph
+	loops *cfg.Forest
+	ipdom []int
 	// exitsAt[block] lists loops for which the block terminator is an exit
 	// branch (the taint sinks).
 	exitsAt map[int][]*cfg.Loop

@@ -24,34 +24,34 @@ type Opcode uint8
 // Instruction opcodes. Arithmetic and comparison instructions write Dst from
 // operands A and B. Memory instructions address the interpreter heap.
 const (
-	OpConst Opcode = iota // Dst = Imm
-	OpMov                 // Dst = A
-	OpAdd                 // Dst = A + B
-	OpSub                 // Dst = A - B
-	OpMul                 // Dst = A * B
-	OpDiv                 // Dst = A / B (0 on divide-by-zero)
-	OpMod                 // Dst = A % B (0 on divide-by-zero)
-	OpNeg                 // Dst = -A
-	OpNot                 // Dst = boolean not A
-	OpAnd                 // Dst = A & B
-	OpOr                  // Dst = A | B
-	OpXor                 // Dst = A ^ B
-	OpShl                 // Dst = A << B
-	OpShr                 // Dst = A >> B
-	OpCmpEQ               // Dst = A == B
-	OpCmpNE               // Dst = A != B
-	OpCmpLT               // Dst = A < B
-	OpCmpLE               // Dst = A <= B
-	OpCmpGT               // Dst = A > B
-	OpCmpGE               // Dst = A >= B
-	OpMin                 // Dst = min(A, B)
-	OpMax                 // Dst = max(A, B)
-	OpLoad                // Dst = heap[A + Off]
-	OpStore               // heap[A + Off] = B
-	OpAlloc               // Dst = allocate A cells, returns base address
-	OpGlobal              // Dst = address of global Sym
-	OpCall                // Dst = call Sym(Args...)
-	OpWork                // simulated computational work of A abstract units
+	OpConst  Opcode = iota // Dst = Imm
+	OpMov                  // Dst = A
+	OpAdd                  // Dst = A + B
+	OpSub                  // Dst = A - B
+	OpMul                  // Dst = A * B
+	OpDiv                  // Dst = A / B (0 on divide-by-zero)
+	OpMod                  // Dst = A % B (0 on divide-by-zero)
+	OpNeg                  // Dst = -A
+	OpNot                  // Dst = boolean not A
+	OpAnd                  // Dst = A & B
+	OpOr                   // Dst = A | B
+	OpXor                  // Dst = A ^ B
+	OpShl                  // Dst = A << B
+	OpShr                  // Dst = A >> B
+	OpCmpEQ                // Dst = A == B
+	OpCmpNE                // Dst = A != B
+	OpCmpLT                // Dst = A < B
+	OpCmpLE                // Dst = A <= B
+	OpCmpGT                // Dst = A > B
+	OpCmpGE                // Dst = A >= B
+	OpMin                  // Dst = min(A, B)
+	OpMax                  // Dst = max(A, B)
+	OpLoad                 // Dst = heap[A + Off]
+	OpStore                // heap[A + Off] = B
+	OpAlloc                // Dst = allocate A cells, returns base address
+	OpGlobal               // Dst = address of global Sym
+	OpCall                 // Dst = call Sym(Args...)
+	OpWork                 // simulated computational work of A abstract units
 )
 
 // Terminator opcodes close a basic block.

@@ -22,11 +22,11 @@ type CostShape int
 // Cost shapes of library routines with respect to the implicit communicator
 // size p and the message size m.
 const (
-	CostConst  CostShape = iota // rank queries, wait
-	CostP2P                     // alpha + beta*m
-	CostLogP                    // barrier: alpha*log2(p)
-	CostMLogP                   // bcast/reduce/allreduce: (alpha + beta*m)*log2(p)
-	CostLinearP                 // gather/scatter: alpha*p + beta*m*p
+	CostConst   CostShape = iota // rank queries, wait
+	CostP2P                      // alpha + beta*m
+	CostLogP                     // barrier: alpha*log2(p)
+	CostMLogP                    // bcast/reduce/allreduce: (alpha + beta*m)*log2(p)
+	CostLinearP                  // gather/scatter: alpha*p + beta*m*p
 )
 
 // Entry describes one library function.

@@ -82,7 +82,7 @@ type Overhead struct {
 	BaseSeconds     float64
 	OverheadSeconds float64
 	// RelativePct is 100 * overhead / base.
-	RelativePct float64
+	RelativePct  float64
 	Instrumented int
 }
 

@@ -1,0 +1,49 @@
+// Package par provides the index-ordered worker pool shared by the batch
+// runner and the model fitter. It is a dependency leaf: internal/extrap
+// cannot import internal/runner (the core pipeline sits between them), so
+// both take the pool from here.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs n index jobs on at most workers goroutines (workers <= 0
+// means GOMAXPROCS) and returns when all have finished. Jobs are handed
+// out in index order; callers that write job i's outcome to slot i of a
+// preallocated slice get deterministic, input-ordered results for free.
+func ForEach(workers, n int, job func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package runner
+
+import "repro/internal/apps"
+
+// Axis is one swept parameter of a Design: the parameter name and the
+// values it takes, in sweep order.
+type Axis struct {
+	Param  string
+	Values []float64
+}
+
+// Design declares a full-factorial parameter sweep over one spec: every
+// combination of axis values layered over the default configuration. It is
+// the batch analog of the paper's modeling designs (e.g. the 25-point
+// p × size grid of Table 2).
+type Design struct {
+	Spec     *apps.Spec
+	Defaults apps.Config
+	Axes     []Axis
+}
+
+// Configs expands the design into its configuration grid, row-major with
+// the last axis varying fastest — a deterministic order, so sweep results
+// are reproducible and comparable across runs.
+func (d Design) Configs() []apps.Config {
+	n := 1
+	for _, ax := range d.Axes {
+		n *= len(ax.Values)
+	}
+	if len(d.Axes) == 0 || n == 0 {
+		return nil
+	}
+	out := make([]apps.Config, 0, n)
+	idx := make([]int, len(d.Axes))
+	for {
+		cfg := d.Defaults.Clone()
+		for i, ax := range d.Axes {
+			cfg[ax.Param] = ax.Values[idx[i]]
+		}
+		out = append(out, cfg)
+		// Odometer increment, last axis fastest.
+		k := len(idx) - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(d.Axes[k].Values) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			return out
+		}
+	}
+}
+
+// Size returns the number of configurations the design expands to.
+func (d Design) Size() int {
+	if len(d.Axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, ax := range d.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+// Package runner is the concurrent batch engine over the core pipeline:
+// it memoizes the per-spec artifacts (module build, verification, and the
+// static pass run exactly once via core.Prepare) and fans the per-config
+// dynamic tainted runs out across a bounded worker pool. Results come back
+// in input order with per-job error capture, so a failing configuration
+// never hides the results of its siblings. The experiment drivers and the
+// perftaint facade route all multi-configuration analysis through this
+// package, which makes sweep wall-clock scale with cores instead of with
+// the number of configurations.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Result is the outcome of one batch job: the configuration it analyzed,
+// its position in the input slice, and either a report or an error.
+type Result struct {
+	// Index is the job's position in the input configuration slice;
+	// results are always returned sorted by Index.
+	Index  int
+	Config apps.Config
+	Report *core.Report
+	// Err captures the job's failure without aborting the batch.
+	Err error
+}
+
+// Runner fans batches of Perf-Taint analyses out across a worker pool.
+// The zero value is ready to use and saturates GOMAXPROCS.
+type Runner struct {
+	// Workers bounds batch concurrency; values <= 0 mean GOMAXPROCS.
+	Workers int
+}
+
+// New returns a runner that saturates GOMAXPROCS.
+func New() *Runner { return &Runner{} }
+
+func (r *Runner) workers() int {
+	if r != nil && r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AnalyzeBatch analyzes one spec at every configuration in cfgs. The
+// module is built, verified, and statically classified exactly once
+// (core.Prepare); only the dynamic tainted runs fan out across workers.
+// The returned error covers the shared preparation alone — per-config
+// failures land in the corresponding Result.Err, and results preserve
+// input order regardless of completion order.
+func (r *Runner) AnalyzeBatch(spec *apps.Spec, cfgs []apps.Config) ([]Result, error) {
+	p, err := core.Prepare(spec)
+	if err != nil {
+		return nil, fmt.Errorf("runner: prepare %s: %w", spec.Name, err)
+	}
+	return r.AnalyzeBatchPrepared(p, cfgs), nil
+}
+
+// AnalyzeBatchPrepared fans the dynamic stage out over cfgs against
+// already-prepared artifacts, for callers that reuse one core.Prepared
+// across several batches.
+func (r *Runner) AnalyzeBatchPrepared(p *core.Prepared, cfgs []apps.Config) []Result {
+	out := make([]Result, len(cfgs))
+	Map(r.workers(), len(cfgs), func(i int) {
+		rep, err := p.Analyze(cfgs[i])
+		out[i] = Result{Index: i, Config: cfgs[i], Report: rep, Err: err}
+	})
+	return out
+}
+
+// Sweep expands the design's full-factorial configuration grid and runs it
+// as one batch.
+func (r *Runner) Sweep(d Design) ([]Result, error) {
+	return r.AnalyzeBatch(d.Spec, d.Configs())
+}
+
+// FirstErr returns the first per-job error of a batch in input order, or
+// nil when every job succeeded.
+func FirstErr(rs []Result) error {
+	for _, res := range rs {
+		if res.Err != nil {
+			return fmt.Errorf("runner: job %d: %w", res.Index, res.Err)
+		}
+	}
+	return nil
+}
+
+// Reports unwraps a fully successful batch into its reports, failing on
+// the first captured job error.
+func Reports(rs []Result) ([]*core.Report, error) {
+	if err := FirstErr(rs); err != nil {
+		return nil, err
+	}
+	out := make([]*core.Report, len(rs))
+	for i, res := range rs {
+		out[i] = res.Report
+	}
+	return out, nil
+}
+
+// Map runs n index jobs on at most workers goroutines (workers <= 0 means
+// GOMAXPROCS) and returns when all have finished. Jobs are handed out in
+// index order; callers that write job i's outcome to slot i of a
+// preallocated slice get deterministic, input-ordered results for free.
+func Map(workers, n int, job func(i int)) { par.ForEach(workers, n, job) }

@@ -1,0 +1,243 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// summarize renders every deterministic projection of a report so batch
+// and sequential results can be compared byte for byte.
+func summarize(rep *core.Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "spec=%s instructions=%d\n", rep.Spec.Name, rep.Instructions)
+	dumpDeps := func(tag string, m map[string][]string) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s %s=%v\n", tag, k, m[k])
+		}
+	}
+	dumpDeps("loop", rep.LoopDeps)
+	dumpDeps("lib", rep.LibDeps)
+	dumpDeps("func", rep.FuncDeps)
+	var rel []string
+	for fn := range rep.Relevant {
+		rel = append(rel, fn)
+	}
+	sort.Strings(rel)
+	fmt.Fprintf(&sb, "relevant=%v\n", rel)
+	fmt.Fprintf(&sb, "census=%+v\n", rep.Census([]string{"p", "size"}))
+	var fns []string
+	for fn := range rep.Volumes.StructByFunc {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		fmt.Fprintf(&sb, "struct %s=%s\n", fn, rep.Volumes.StructByFunc[fn])
+	}
+	return sb.String()
+}
+
+func luleshConfigs() []apps.Config {
+	base := apps.LULESHTaintConfig()
+	var out []apps.Config
+	for _, p := range []float64{2, 4, 8, 16} {
+		cfg := base.Clone()
+		cfg["p"] = p
+		out = append(out, cfg)
+	}
+	return out
+}
+
+func TestBatchMatchesSequential(t *testing.T) {
+	spec := apps.LULESH()
+	cfgs := luleshConfigs()
+
+	var want []string
+	for _, cfg := range cfgs {
+		rep, err := core.Analyze(spec, cfg)
+		if err != nil {
+			t.Fatalf("sequential Analyze: %v", err)
+		}
+		want = append(want, summarize(rep))
+	}
+
+	res, err := (&Runner{Workers: 4}).AnalyzeBatch(spec, cfgs)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch: %v", err)
+	}
+	if len(res) != len(cfgs) {
+		t.Fatalf("got %d results, want %d", len(res), len(cfgs))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if got := summarize(r.Report); got != want[i] {
+			t.Errorf("job %d: batch report differs from sequential:\n--- batch ---\n%s--- sequential ---\n%s", i, got, want[i])
+		}
+	}
+}
+
+func TestBatchSharesPreparation(t *testing.T) {
+	res, err := New().AnalyzeBatch(apps.LULESH(), luleshConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		// All reports must reference the artifacts of the single Prepare
+		// call: same module, same static classification.
+		if r.Report.Module != res[0].Report.Module {
+			t.Errorf("job %d rebuilt the module", i)
+		}
+		if fmt.Sprintf("%p", r.Report.Static) != fmt.Sprintf("%p", res[0].Report.Static) {
+			t.Errorf("job %d re-ran the static pass", i)
+		}
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	spec := apps.LULESH()
+	cfgs := luleshConfigs()
+	first, err := (&Runner{Workers: 8}).AnalyzeBatch(spec, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := (&Runner{Workers: 2}).AnalyzeBatch(spec, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if first[i].Index != i || second[i].Index != i {
+			t.Fatalf("result %d out of order: %d vs %d", i, first[i].Index, second[i].Index)
+		}
+		if first[i].Config["p"] != cfgs[i]["p"] {
+			t.Fatalf("result %d carries config p=%v, want %v", i, first[i].Config["p"], cfgs[i]["p"])
+		}
+		if summarize(first[i].Report) != summarize(second[i].Report) {
+			t.Errorf("result %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestErrorCapture(t *testing.T) {
+	spec := apps.LULESH()
+	good := apps.LULESHTaintConfig()
+	bad := good.Clone()
+	delete(bad, "p") // the dynamic stage requires the implicit parameter
+	cfgs := []apps.Config{good, bad, good.Clone()}
+
+	res, err := New().AnalyzeBatch(spec, cfgs)
+	if err != nil {
+		t.Fatalf("batch-level error for a per-job failure: %v", err)
+	}
+	if res[1].Err == nil {
+		t.Fatal("job 1 should have failed (missing p)")
+	}
+	if res[1].Report != nil {
+		t.Fatal("failed job should not carry a report")
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || res[i].Report == nil {
+			t.Fatalf("job %d should have succeeded: %v", i, res[i].Err)
+		}
+	}
+	if err := FirstErr(res); err == nil || !strings.Contains(err.Error(), "job 1") {
+		t.Fatalf("FirstErr = %v, want job 1 error", err)
+	}
+	if _, err := Reports(res); err == nil {
+		t.Fatal("Reports should propagate the captured error")
+	}
+}
+
+func TestDesignConfigs(t *testing.T) {
+	d := Design{
+		Defaults: apps.Config{"iters": 1},
+		Axes: []Axis{
+			{Param: "p", Values: []float64{2, 4}},
+			{Param: "size", Values: []float64{5, 6, 7}},
+		},
+	}
+	if d.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", d.Size())
+	}
+	cfgs := d.Configs()
+	if len(cfgs) != 6 {
+		t.Fatalf("got %d configs, want 6", len(cfgs))
+	}
+	// Row-major, last axis fastest, defaults preserved.
+	want := []struct{ p, size float64 }{
+		{2, 5}, {2, 6}, {2, 7}, {4, 5}, {4, 6}, {4, 7},
+	}
+	for i, w := range want {
+		if cfgs[i]["p"] != w.p || cfgs[i]["size"] != w.size || cfgs[i]["iters"] != 1 {
+			t.Fatalf("config %d = %v, want p=%g size=%g iters=1", i, cfgs[i], w.p, w.size)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	base := apps.LULESHTaintConfig()
+	d := Design{
+		Spec:     apps.LULESH(),
+		Defaults: base,
+		Axes: []Axis{
+			{Param: "p", Values: []float64{2, 4}},
+			{Param: "size", Values: []float64{4, 5}},
+		},
+	}
+	res, err := New().Sweep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != d.Size() {
+		t.Fatalf("got %d results, want %d", len(res), d.Size())
+	}
+	reps, err := Reports(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := d.Configs()
+	for i, rep := range reps {
+		if rep.Spec.Name != apps.LULESH().Name {
+			t.Fatalf("result %d analyzed %s", i, rep.Spec.Name)
+		}
+		if res[i].Config["p"] != cfgs[i]["p"] || res[i].Config["size"] != cfgs[i]["size"] {
+			t.Fatalf("result %d out of design order", i)
+		}
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	Map(4, 0, func(int) { t.Fatal("job ran for n=0") })
+
+	n := 100
+	seen := make([]int, n)
+	Map(16, n, func(i int) { seen[i]++ })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+
+	// workers <= 0 falls back to GOMAXPROCS; workers > n is clamped.
+	ran := make([]bool, 3)
+	Map(-1, 3, func(i int) { ran[i] = true })
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("index %d never ran with default workers", i)
+		}
+	}
+	Map(50, 2, func(i int) {})
+}

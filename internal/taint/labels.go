@@ -31,13 +31,13 @@ const MaxBaseLabels = 64
 // the table additionally verifies that operands do not represent an
 // equivalent combination before allocating a new identifier.
 type Table struct {
-	names   []string            // base label names, index = base ordinal
-	byName  map[string]Label    // base name -> label id
-	masks   []uint64            // label id -> expansion bitmask over base ordinals
-	parents [][2]Label          // label id -> the two joined labels (0,0 for base)
-	byMask  map[uint64]Label    // expansion -> canonical label id
-	baseOrd map[Label]int       // base label id -> ordinal
-	unions  map[[2]Label]Label  // memo for Union fast path
+	names   []string           // base label names, index = base ordinal
+	byName  map[string]Label   // base name -> label id
+	masks   []uint64           // label id -> expansion bitmask over base ordinals
+	parents [][2]Label         // label id -> the two joined labels (0,0 for base)
+	byMask  map[uint64]Label   // expansion -> canonical label id
+	baseOrd map[Label]int      // base label id -> ordinal
+	unions  map[[2]Label]Label // memo for Union fast path
 }
 
 // NewTable returns an empty label table.

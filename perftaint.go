@@ -20,6 +20,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/extrap"
+	"repro/internal/runner"
 )
 
 // Re-exported core types.
@@ -41,6 +42,18 @@ type (
 	Model = extrap.Model
 	// Prior is the white-box restriction on the model search space.
 	Prior = extrap.Prior
+	// Prepared caches the per-spec artifacts (built module, verification,
+	// static pass) shared by every configuration of a batch.
+	Prepared = core.Prepared
+	// Runner fans batches of analyses out across a worker pool.
+	Runner = runner.Runner
+	// BatchResult is one job outcome of a batch: input index, config, and
+	// report or error.
+	BatchResult = runner.Result
+	// Design declares a full-factorial parameter sweep over one spec.
+	Design = runner.Design
+	// Axis is one swept parameter of a Design.
+	Axis = runner.Axis
 )
 
 // Analyze runs the full Perf-Taint pipeline (build, static prune, tainted
@@ -48,6 +61,24 @@ type (
 func Analyze(spec *Spec, cfg Config) (*Report, error) {
 	return core.Analyze(spec, cfg)
 }
+
+// Prepare builds, verifies, and statically classifies spec once; the
+// returned Prepared analyzes individual configurations concurrently.
+func Prepare(spec *Spec) (*Prepared, error) { return core.Prepare(spec) }
+
+// NewRunner returns a batch runner that saturates GOMAXPROCS.
+func NewRunner() *Runner { return runner.New() }
+
+// AnalyzeBatch analyzes spec at every configuration, building the module
+// and running the static pass exactly once and fanning the dynamic runs
+// out across all cores. Results preserve input order; per-config failures
+// are captured in the corresponding BatchResult.Err.
+func AnalyzeBatch(spec *Spec, cfgs []Config) ([]BatchResult, error) {
+	return runner.New().AnalyzeBatch(spec, cfgs)
+}
+
+// Sweep expands a full-factorial design and analyzes it as one batch.
+func Sweep(d Design) ([]BatchResult, error) { return runner.New().Sweep(d) }
 
 // LULESH returns the bundled LULESH proxy-app specification.
 func LULESH() *Spec { return apps.LULESH() }
