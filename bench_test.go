@@ -220,6 +220,85 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
+// --- interpreter engine benchmarks ---
+
+// interpBench runs one spec configuration through the interpreter in the
+// given mode and reports ns per interpreted instruction, the fast engine's
+// acceptance metric (>=2x improvement over the reference engine).
+func interpBench(b *testing.B, spec *apps.Spec, cfg apps.Config, mode interp.Mode, tainted bool) {
+	b.Helper()
+	mod, err := apps.BuildModule(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Predecoding happens once per spec (it is cached on core.Prepared in
+	// the pipeline), so it sits outside the measured loop.
+	prog := interp.Predecode(mod)
+	db := libdb.DefaultMPI()
+	args := apps.TaintArgs(spec, cfg)
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var eng *taint.Engine
+		var labels []taint.Label
+		mach := interp.NewMachine(mod)
+		mach.Mode = mode
+		mach.Prog = prog
+		mach.Fuel = 4_000_000_000
+		if tainted {
+			eng = taint.NewEngine()
+			mach.Taint = eng
+			labels = make([]taint.Label, len(spec.Params))
+			for j, prm := range spec.Params {
+				labels[j] = eng.Table.Base(prm)
+			}
+		}
+		db.Bind(mach, eng, libdb.RunConfig{CommSize: int64(cfg["p"]), Rank: 0})
+		res, err := mach.Run("main", args, labels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instructions
+	}
+	if total > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/instr")
+	}
+}
+
+// interpBenchApps enumerates the benchmarked workloads: the quickstart
+// analysis configuration (LULESH at the paper's taint run) and the MILC
+// taint run.
+func interpBenchApps(b *testing.B, tainted bool) {
+	for _, app := range []struct {
+		name string
+		spec *apps.Spec
+		cfg  apps.Config
+	}{
+		{"quickstart", apps.LULESH(), apps.LULESHTaintConfig()},
+		{"milc", apps.MILC(), apps.MILCTaintConfig()},
+	} {
+		for _, m := range []struct {
+			name string
+			mode interp.Mode
+		}{
+			{"fast", interp.ModeFast},
+			{"reference", interp.ModeReference},
+		} {
+			b.Run(app.name+"/"+m.name, func(b *testing.B) {
+				interpBench(b, app.spec, app.cfg, m.mode, tainted)
+			})
+		}
+	}
+}
+
+// BenchmarkTaintedRun measures the dominant pipeline cost: the dynamic
+// tainted execution, under both engines.
+func BenchmarkTaintedRun(b *testing.B) { interpBenchApps(b, true) }
+
+// BenchmarkUntaintedRun measures plain interpretation without a taint
+// engine (the native-run analog of the overhead experiments).
+func BenchmarkUntaintedRun(b *testing.B) { interpBenchApps(b, false) }
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkTaintedRunLULESH(b *testing.B) {

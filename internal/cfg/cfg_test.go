@@ -145,6 +145,60 @@ func TestLoopOfBranch(t *testing.T) {
 	}
 }
 
+func TestClassifyEdgeAndExitLoops(t *testing.T) {
+	m := ir.NewModule("t")
+	f := buildNest(m)
+	g := Build(f)
+	forest := FindLoops(g)
+
+	for _, l := range forest.Loops {
+		// Every latch edge classifies as EdgeLatch of its loop.
+		for _, latch := range l.Latches {
+			kind, got := forest.ClassifyEdge(latch, l.Header)
+			if kind != EdgeLatch || got != l {
+				t.Fatalf("edge %d->%d: kind %v loop %v, want latch of %v", latch, l.Header, kind, got, l)
+			}
+		}
+		// An edge into the header from outside the loop is an entry.
+		for _, p := range g.Pred[l.Header] {
+			if l.Contains(p) {
+				continue
+			}
+			kind, got := forest.ClassifyEdge(p, l.Header)
+			if kind != EdgeEntry || got != l {
+				t.Fatalf("edge %d->%d: kind %v, want entry of %v", p, l.Header, kind, got)
+			}
+		}
+		// ExitLoops covers every exit branch of the loop, in Loops order.
+		for _, e := range l.ExitBranches {
+			found := false
+			for _, el := range forest.ExitLoops(e.Block) {
+				if el == l {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("ExitLoops(%d) misses loop %v", e.Block, l)
+			}
+		}
+	}
+	// Non-header targets never classify as loop events.
+	for u := 0; u < len(f.Blocks); u++ {
+		for _, s := range g.Succ[u] {
+			if forest.ByHeader[s] != nil {
+				continue
+			}
+			if kind, _ := forest.ClassifyEdge(u, s); kind != EdgeNone {
+				t.Fatalf("edge %d->%d to non-header classified %v", u, s, kind)
+			}
+		}
+	}
+	if ls := forest.ExitLoops(0); ls != nil {
+		t.Fatalf("entry block reported exit loops %v", ls)
+	}
+}
+
 func TestIrreducibleDetection(t *testing.T) {
 	// Two blocks jumping into each other's middle via a branch from entry:
 	// entry -> A or B; A -> B; B -> A. The cycle {A,B} has two entries.

@@ -190,6 +190,54 @@ func FindLoops(g *Graph) *Forest {
 	return f
 }
 
+// EdgeKind classifies a CFG edge with respect to the loop forest.
+type EdgeKind uint8
+
+// Edge kinds, in the order the dynamic taint pass checks them: a latch edge
+// (back edge into a loop header) counts one iteration; an entry edge (into a
+// header from outside the loop) counts one trip start; every other edge is
+// plain control transfer.
+const (
+	EdgeNone EdgeKind = iota
+	EdgeLatch
+	EdgeEntry
+)
+
+// ClassifyEdge categorizes the CFG edge from->to for loop accounting,
+// returning the loop the event belongs to (nil for EdgeNone). The
+// classification mirrors the dynamic check order of the interpreter: a back
+// edge into the header of loop L is a latch of L; otherwise an edge into a
+// header from a block outside the header's innermost loop is an entry.
+func (f *Forest) ClassifyEdge(from, to int) (EdgeKind, *Loop) {
+	if l := f.ByHeader[to]; l != nil {
+		for _, latch := range l.Latches {
+			if latch == from {
+				return EdgeLatch, l
+			}
+		}
+		if !l.Contains(from) {
+			return EdgeEntry, l
+		}
+	}
+	return EdgeNone, nil
+}
+
+// ExitLoops returns the loops for which the terminator of block b is an exit
+// branch, in Loops order (sorted by header) — the order in which the dynamic
+// pass fires the corresponding taint sinks.
+func (f *Forest) ExitLoops(b int) []*Loop {
+	var out []*Loop
+	for _, l := range f.Loops {
+		for _, e := range l.ExitBranches {
+			if e.Block == b {
+				out = append(out, l)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // LoopOfBranch returns the innermost loop for which the terminator of block
 // b is an exit branch, or nil.
 func (f *Forest) LoopOfBranch(b int) *Loop {

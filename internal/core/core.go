@@ -30,6 +30,15 @@ type Prepared struct {
 	// Static is the compile-time classification (Section 5.1), computed
 	// exactly once per spec and shared read-only by every dynamic run.
 	Static map[string]*scev.FuncClass
+
+	// Program is the predecoded module for the fast interpreter, built once
+	// per spec and shared read-only by every dynamic run of a batch.
+	Program *interp.Program
+
+	// Mode selects the interpreter engine for Analyze runs; the zero value
+	// is the fast engine. The reference mode exists for differential and
+	// oracle runs.
+	Mode interp.Mode
 }
 
 // Prepare builds the module from spec, verifies it against the default MPI
@@ -54,10 +63,11 @@ func Prepare(spec *apps.Spec) (*Prepared, error) {
 // module, caching the artifacts for repeated dynamic runs.
 func PrepareModule(spec *apps.Spec, mod *ir.Module, db *libdb.DB) *Prepared {
 	return &Prepared{
-		Spec:   spec,
-		Module: mod,
-		DB:     db,
-		Static: scev.AnalyzeModule(mod, db.Relevant),
+		Spec:    spec,
+		Module:  mod,
+		DB:      db,
+		Static:  scev.AnalyzeModule(mod, db.Relevant),
+		Program: interp.Predecode(mod),
 	}
 }
 
@@ -69,11 +79,14 @@ func PrepareModule(spec *apps.Spec, mod *ir.Module, db *libdb.DB) *Prepared {
 func (p *Prepared) Analyze(cfg apps.Config) (*Report, error) {
 	r := &Report{Spec: p.Spec, Module: p.Module, DB: p.DB, Static: p.Static}
 
-	// Stage 2: dynamic taint analysis.
+	// Stage 2: dynamic taint analysis. The predecoded program is shared
+	// read-only across all concurrent runs of this Prepared.
 	engine := taint.NewEngine()
 	mach := interp.NewMachine(p.Module)
 	mach.Taint = engine
 	mach.Fuel = 4_000_000_000
+	mach.Mode = p.Mode
+	mach.Prog = p.Program
 	pVal := int64(cfg["p"])
 	if pVal <= 0 {
 		return nil, fmt.Errorf("core: config missing implicit parameter p")

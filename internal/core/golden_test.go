@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden testdata snapshots")
+
+// goldenSnapshot freezes the paper-facing outputs of one bundled app: the
+// Table 2 census at the paper's model parameters, the per-function taint
+// dependencies, and the dynamic cost of the taint run. Any interpreter or
+// taint change that drifts these numbers fails loudly; intentional changes
+// re-bless with `go test ./internal/core -run Golden -update`.
+type goldenSnapshot struct {
+	Census       Census              `json:"census"`
+	FuncDeps     map[string][]string `json:"func_deps"`
+	Instructions int64               `json:"instructions"`
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+"_golden.json")
+}
+
+func TestGoldenLULESH(t *testing.T) {
+	checkGolden(t, "lulesh", getLULESH(t))
+}
+
+func TestGoldenMILC(t *testing.T) {
+	checkGolden(t, "milc", getMILC(t))
+}
+
+func checkGolden(t *testing.T, name string, rep *Report) {
+	t.Helper()
+	got := goldenSnapshot{
+		Census:       rep.Census([]string{"p", "size"}),
+		FuncDeps:     rep.FuncDeps,
+		Instructions: rep.Instructions,
+	}
+	if got.FuncDeps == nil {
+		got.FuncDeps = map[string][]string{}
+	}
+	raw, err := json.MarshalIndent(&got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		var wantSnap goldenSnapshot
+		if err := json.Unmarshal(want, &wantSnap); err != nil {
+			t.Fatalf("corrupt golden snapshot %s: %v", path, err)
+		}
+		if got.Census != wantSnap.Census {
+			t.Errorf("census drifted from %s:\n got: %+v\nwant: %+v", path, got.Census, wantSnap.Census)
+		}
+		if got.Instructions != wantSnap.Instructions {
+			t.Errorf("tainted-run instruction count drifted: got %d, want %d", got.Instructions, wantSnap.Instructions)
+		}
+		for fn, deps := range wantSnap.FuncDeps {
+			if !equalStrings(got.FuncDeps[fn], deps) {
+				t.Errorf("FuncDeps[%q] drifted: got %v, want %v", fn, got.FuncDeps[fn], deps)
+			}
+		}
+		for fn := range got.FuncDeps {
+			if _, ok := wantSnap.FuncDeps[fn]; !ok {
+				t.Errorf("FuncDeps gained unexpected function %q = %v", fn, got.FuncDeps[fn])
+			}
+		}
+		if !t.Failed() {
+			t.Errorf("golden snapshot %s differs in formatting; re-bless with -update", path)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,411 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/libdb"
+	"repro/internal/taint"
+)
+
+// This file is the differential harness of the fast engine: seeded random
+// modules (plus truncated-fuel and tracer variants) are executed under both
+// interpreter modes and every observable — result value, label parameter
+// sets, instruction counts, loop/branch/libcall records, recursion
+// warnings, and tracer event streams — must match exactly.
+
+// ---- random module generator (seeded, table-driven) ----
+
+// genConfig bounds one generated module.
+type genConfig struct {
+	funcs    int // helper functions besides main
+	stmts    int // statements per body
+	maxDepth int // nesting depth of ifs/loops/switches
+}
+
+type gen struct {
+	r   *rand.Rand
+	mod *ir.Module
+	cfg genConfig
+	// callable helper functions built so far, with their arities.
+	callees []struct {
+		name   string
+		params int
+	}
+}
+
+// genModule builds a random but always-terminating module whose main takes
+// three tainted parameters. Loops are counted with masked bounds, memory
+// indices are masked in-bounds, and helpers form a DAG, so the only way a
+// run can fail is fuel exhaustion — which the harness also compares.
+func genModule(seed int64, cfg genConfig) *ir.Module {
+	g := &gen{r: rand.New(rand.NewSource(seed)), mod: ir.NewModule(fmt.Sprintf("rand%d", seed)), cfg: cfg}
+	for i := 0; i < cfg.funcs; i++ {
+		params := 1 + g.r.Intn(3)
+		name := fmt.Sprintf("f%d", i)
+		g.buildFunc(name, params)
+		g.callees = append(g.callees, struct {
+			name   string
+			params int
+		}{name, params})
+	}
+	g.buildFunc("main", 3)
+	return g.mod
+}
+
+// body carries the open-scope state while generating one function.
+type body struct {
+	g     *gen
+	b     *ir.Builder
+	pool  []ir.Reg // value registers defined on every path to here
+	arr   ir.Reg   // base of the 8-cell scratch array
+	depth int
+}
+
+func (g *gen) buildFunc(name string, params int) {
+	b := ir.NewFunc(g.mod, name, params)
+	bd := &body{g: g, b: b}
+	for i := 0; i < params; i++ {
+		bd.pool = append(bd.pool, b.Param(i))
+	}
+	bd.arr = b.Alloc(b.Const(8))
+	// Seed the scratch array with the parameters.
+	for i := 0; i < params; i++ {
+		b.Store(bd.arr, int64(i), b.Param(i))
+	}
+	n := 2 + g.r.Intn(g.cfg.stmts)
+	for i := 0; i < n; i++ {
+		bd.stmt()
+	}
+	b.Ret(bd.pick())
+	b.Finish()
+}
+
+func (bd *body) pick() ir.Reg {
+	return bd.pool[bd.g.r.Intn(len(bd.pool))]
+}
+
+func (bd *body) push(r ir.Reg) { bd.pool = append(bd.pool, r) }
+
+// index returns a register holding pick()&7: a always-in-bounds scratch
+// index (bitwise and maps negatives into 0..7 too).
+func (bd *body) index() ir.Reg {
+	return bd.b.Bin(ir.OpAnd, bd.pick(), bd.b.Const(7))
+}
+
+var arithOps = []ir.Opcode{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpAnd, ir.OpOr,
+	ir.OpXor, ir.OpShl, ir.OpShr, ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT,
+	ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpMin, ir.OpMax,
+}
+
+func (bd *body) stmt() {
+	g, b := bd.g, bd.b
+	nested := bd.depth < bd.g.cfg.maxDepth
+	switch k := g.r.Intn(12); {
+	case k <= 2: // arithmetic
+		op := arithOps[g.r.Intn(len(arithOps))]
+		bd.push(b.Bin(op, bd.pick(), bd.pick()))
+	case k == 3: // unary / const / mov
+		switch g.r.Intn(3) {
+		case 0:
+			bd.push(b.Neg(bd.pick()))
+		case 1:
+			bd.push(b.Const(int64(g.r.Intn(21) - 10)))
+		default:
+			bd.push(b.Mov(bd.pick()))
+		}
+	case k == 4: // load
+		addr := b.Add(bd.arr, bd.index())
+		bd.push(b.Load(addr, 0))
+	case k == 5: // store
+		addr := b.Add(bd.arr, bd.index())
+		b.Store(addr, 0, bd.pick())
+	case k == 6: // accumulate into an existing register (loop-carried)
+		b.MovTo(bd.pick(), b.Add(bd.pick(), bd.pick()))
+	case k == 7 && nested: // if / if-else
+		cond := b.CmpLT(bd.pick(), bd.pick())
+		save := len(bd.pool)
+		bd.depth++
+		var els func()
+		if g.r.Intn(2) == 0 {
+			els = func() {
+				bd.stmt()
+				bd.pool = bd.pool[:save]
+			}
+		}
+		b.If(cond, func() {
+			bd.stmt()
+			if g.r.Intn(2) == 0 {
+				bd.stmt()
+			}
+			bd.pool = bd.pool[:save]
+		}, els)
+		bd.depth--
+	case k == 8 && nested: // counted loop with a (possibly tainted) bound
+		bound := b.Bin(ir.OpAnd, bd.pick(), b.Const(3))
+		save := len(bd.pool)
+		bd.depth++
+		b.For(b.Const(0), bound, b.Const(1), func(i ir.Reg) {
+			bd.push(i)
+			bd.stmt()
+			bd.stmt()
+			bd.pool = bd.pool[:save]
+		})
+		bd.depth--
+	case k == 9 && nested: // while loop on an explicit down-counter
+		cnt := b.Mov(b.Bin(ir.OpAnd, bd.pick(), b.Const(3)))
+		zero := b.Const(0)
+		one := b.Const(1)
+		save := len(bd.pool)
+		bd.depth++
+		b.While(func() ir.Reg { return b.CmpGT(cnt, zero) }, func() {
+			bd.stmt()
+			b.MovTo(cnt, b.Sub(cnt, one))
+			bd.pool = bd.pool[:save]
+		})
+		bd.depth--
+	case k == 10 && nested: // switch over pick()&3
+		v := b.Bin(ir.OpAnd, bd.pick(), b.Const(3))
+		c0 := b.NewBlock("case0")
+		c1 := b.NewBlock("case1")
+		def := b.NewBlock("default")
+		join := b.NewBlock("swjoin")
+		b.Switch(v, def, []ir.SwitchCase{{Value: 0, Block: c0.Index}, {Value: 1, Block: c1.Index}})
+		save := len(bd.pool)
+		bd.depth++
+		for _, arm := range []*ir.Block{c0, c1, def} {
+			b.SetBlock(arm)
+			bd.stmt()
+			bd.pool = bd.pool[:save]
+			if b.CurBlock() != nil {
+				b.Jmp(join)
+			}
+		}
+		bd.depth--
+		b.SetBlock(join)
+	case k == 11: // call: helper or library
+		bd.call()
+	default:
+		bd.push(b.Bin(ir.OpAdd, bd.pick(), bd.pick()))
+	}
+}
+
+func (bd *body) call() {
+	g, b := bd.g, bd.b
+	if len(g.callees) > 0 && g.r.Intn(3) > 0 {
+		c := g.callees[g.r.Intn(len(g.callees))]
+		args := make([]ir.Reg, c.params)
+		for i := range args {
+			args[i] = bd.pick()
+		}
+		bd.push(b.Call(c.name, args...))
+		return
+	}
+	switch g.r.Intn(4) {
+	case 0: // taint source: writes comm size (labelled p) into the array
+		addr := b.Add(bd.arr, bd.index())
+		bd.push(b.Call("MPI_Comm_size", b.Const(0), addr))
+	case 1: // relevant p2p call; count argument may carry taint
+		bd.push(b.Call("MPI_Send", bd.arr, bd.pick(), b.Const(1)))
+	case 2: // collective that moves up to 4 cells inside the array
+		cnt := b.Bin(ir.OpAnd, bd.pick(), b.Const(3))
+		bd.push(b.Call("MPI_Allreduce", bd.arr, b.Add(bd.arr, b.Const(4)), cnt))
+	default:
+		bd.push(b.Call("MPI_Barrier", b.Const(0)))
+	}
+}
+
+// ---- engine fingerprinting ----
+
+// fingerprint renders every observable of a run deterministically. Labels
+// are compared by their base-parameter masks — the semantic identity of a
+// label — not by raw table ids: the fast engine's merged control scopes can
+// materialize different intermediate labels in the shared union table, but
+// every observable label (results, records) must denote the identical
+// parameter set.
+func fingerprint(res *interp.Result, err error, eng *taint.Engine) string {
+	var sb strings.Builder
+	mask := func(l taint.Label) string {
+		if eng == nil {
+			return fmt.Sprintf("%d", l)
+		}
+		return fmt.Sprintf("%x(%s)", eng.Table.Mask(l), eng.Table.ExpandString(l))
+	}
+	if err != nil {
+		fmt.Fprintf(&sb, "err=%v\n", err)
+	}
+	if res != nil {
+		fmt.Fprintf(&sb, "value=%d label=%s instr=%d\n", res.Value, mask(res.Label), res.Instructions)
+	}
+	if eng == nil {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "base=%d\n", eng.Table.NumBase())
+	for _, r := range eng.SortedLoops() {
+		fmt.Fprintf(&sb, "loop %s#%d@%d path=%s labels=%s iter=%d entries=%d\n",
+			r.Key.Func, r.Key.LoopID, r.Header, r.Key.CallPath,
+			mask(r.Labels), r.Iterations, r.Entries)
+	}
+	branches := make([]*taint.BranchRecord, 0, len(eng.Branches))
+	for _, r := range eng.Branches {
+		branches = append(branches, r)
+	}
+	sort.Slice(branches, func(i, j int) bool {
+		if branches[i].Key.Func != branches[j].Key.Func {
+			return branches[i].Key.Func < branches[j].Key.Func
+		}
+		return branches[i].Key.Block < branches[j].Key.Block
+	})
+	for _, r := range branches {
+		fmt.Fprintf(&sb, "branch %s@%d labels=%s taken=%d nottaken=%d exit=%v\n",
+			r.Key.Func, r.Key.Block, mask(r.Labels),
+			r.Taken, r.NotTaken, r.IsLoopExit)
+	}
+	libs := make([]*taint.LibCallRecord, 0, len(eng.LibCalls))
+	for _, r := range eng.LibCalls {
+		libs = append(libs, r)
+	}
+	sort.Slice(libs, func(i, j int) bool {
+		a, b := libs[i].Key, libs[j].Key
+		if a.CallPath != b.CallPath {
+			return a.CallPath < b.CallPath
+		}
+		return a.Callee < b.Callee
+	})
+	for _, r := range libs {
+		fmt.Fprintf(&sb, "libcall %s->%s path=%s labels=%s count=%d\n",
+			r.Key.Caller, r.Key.Callee, r.Key.CallPath,
+			mask(r.Labels), r.Count)
+	}
+	var recs []string
+	for fn := range eng.RecursionWarnings {
+		recs = append(recs, fn)
+	}
+	sort.Strings(recs)
+	fmt.Fprintf(&sb, "recursion=%v\n", recs)
+	return sb.String()
+}
+
+// eventTracer records the full tracer event stream.
+type eventTracer struct{ events []string }
+
+func (t *eventTracer) Enter(fn, path string) {
+	t.events = append(t.events, "enter "+fn+" "+path)
+}
+func (t *eventTracer) Exit(fn, path string) {
+	t.events = append(t.events, "exit "+fn+" "+path)
+}
+func (t *eventTracer) Work(fn string, u int64) {
+	t.events = append(t.events, fmt.Sprintf("work %s %d", fn, u))
+}
+
+type runOpts struct {
+	mode    interp.Mode
+	fuel    int64
+	tainted bool
+	trace   bool
+}
+
+func runOne(t *testing.T, mod *ir.Module, args []int64, o runOpts) (string, []string) {
+	t.Helper()
+	var eng *taint.Engine
+	mach := interp.NewMachine(mod)
+	mach.Mode = o.mode
+	mach.Fuel = o.fuel
+	if o.tainted {
+		eng = taint.NewEngine()
+		mach.Taint = eng
+	}
+	var tr *eventTracer
+	if o.trace {
+		tr = &eventTracer{}
+		mach.Tracer = tr
+	}
+	db := libdb.DefaultMPI()
+	db.Bind(mach, eng, libdb.RunConfig{CommSize: 8, Rank: 0})
+	var labels []taint.Label
+	if o.tainted {
+		for _, p := range []string{"x", "y", "z"} {
+			labels = append(labels, eng.Table.Base(p))
+		}
+	}
+	res, err := mach.Run("main", args, labels)
+	var events []string
+	if tr != nil {
+		events = tr.events
+	}
+	return fingerprint(res, err, eng), events
+}
+
+func diffModes(t *testing.T, mod *ir.Module, args []int64, fuel int64, tainted bool) {
+	t.Helper()
+	ref, refEv := runOne(t, mod, args, runOpts{mode: interp.ModeReference, fuel: fuel, tainted: tainted, trace: true})
+	fast, fastEv := runOne(t, mod, args, runOpts{mode: interp.ModeFast, fuel: fuel, tainted: tainted, trace: true})
+	if ref != fast {
+		t.Fatalf("fast engine diverged (tainted=%v fuel=%d):\n--- reference ---\n%s\n--- fast ---\n%s", tainted, fuel, ref, fast)
+	}
+	if len(refEv) != len(fastEv) {
+		t.Fatalf("tracer event count diverged: reference %d, fast %d", len(refEv), len(fastEv))
+	}
+	for i := range refEv {
+		if refEv[i] != fastEv[i] {
+			t.Fatalf("tracer event %d diverged: reference %q, fast %q", i, refEv[i], fastEv[i])
+		}
+	}
+}
+
+// instructionsOf reruns main in reference mode and returns the executed
+// instruction count, to derive truncation points for the fuel differential.
+func instructionsOf(t *testing.T, mod *ir.Module, args []int64) int64 {
+	t.Helper()
+	mach := interp.NewMachine(mod)
+	mach.Mode = interp.ModeReference
+	libdb.DefaultMPI().Bind(mach, nil, libdb.RunConfig{CommSize: 8})
+	res, err := mach.Run("main", args, nil)
+	if err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	return res.Instructions
+}
+
+// TestDifferentialFastMatchesReference executes >=50 seeded random modules
+// under both engines — tainted and untainted, full-fuel and truncated — and
+// requires identical observables.
+func TestDifferentialFastMatchesReference(t *testing.T) {
+	shapes := []genConfig{
+		{funcs: 0, stmts: 6, maxDepth: 2},
+		{funcs: 2, stmts: 5, maxDepth: 2},
+		{funcs: 3, stmts: 7, maxDepth: 3},
+		{funcs: 4, stmts: 4, maxDepth: 2},
+	}
+	const seeds = 56
+	for seed := int64(0); seed < seeds; seed++ {
+		cfg := shapes[int(seed)%len(shapes)]
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			mod := genModule(seed*7919+13, cfg)
+			db := libdb.DefaultMPI()
+			if err := ir.VerifyModule(mod, func(name string) bool {
+				_, ok := db.Lookup(name)
+				return ok
+			}); err != nil {
+				t.Fatalf("generator produced invalid module: %v", err)
+			}
+			args := []int64{seed % 9, (seed % 5) - 2, seed % 3}
+			diffModes(t, mod, args, 1_000_000, true)
+			diffModes(t, mod, args, 1_000_000, false)
+			// Truncated-fuel differential: both engines must fail with
+			// ErrFuel at the same point and report identical partial
+			// instruction counts.
+			if n := instructionsOf(t, mod, args); n > 4 {
+				diffModes(t, mod, args, n/2, true)
+				diffModes(t, mod, args, n-1, false)
+			}
+		})
+	}
+}

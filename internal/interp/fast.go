@@ -1,0 +1,657 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/taint"
+)
+
+// pathNode is one interned calling context. Nodes form a tree keyed by
+// module-unique call-site IDs; each node renders its path string exactly
+// once and caches the taint records resolved for this context, making the
+// per-event bookkeeping of loop iterations, entries, exits, and library
+// calls O(1) slice/pointer updates with zero allocation on the hot loop.
+// Two sites with the same caller and callee produce distinct nodes whose
+// lazily resolved records alias the same engine entry, preserving the
+// reference engine's string-keyed aggregation.
+type pathNode struct {
+	str      string
+	fnIdx    int32
+	children map[int32]int32
+	// loopRecs caches, per func-local loop, the engine record for this
+	// context; entries resolve lazily on the first event so that record
+	// creation order matches the reference interpreter exactly.
+	loopRecs []*taint.LoopRecord
+	// libRec caches the library-call record when this node is an extern
+	// call tail.
+	libRec *taint.LibCallRecord
+}
+
+// fastFrame is a reusable activation record. Frames are pooled per call
+// depth, so steady-state execution allocates nothing per call: register and
+// label banks are re-sliced and zeroed, the control-scope stack keeps its
+// capacity, and the extern scratch buffers and ExternCall header are reused.
+type fastFrame struct {
+	regs      []Value
+	labels    []taint.Label
+	born      []int
+	ctl       []ctlScope
+	args      []Value
+	argLabels []taint.Label
+	ext       ExternCall
+}
+
+// ctlState carries the control-flow-taint state of one activation. Its
+// methods replace the per-call writeLabel/regCtl/memCtl closures of the
+// reference interpreter with plain calls on a stack-allocated struct.
+type ctlState struct {
+	ctl      []ctlScope
+	born     []int
+	writeSeq int
+	tbl      *taint.Table
+	ctlBase  taint.Label
+	cflow    bool
+}
+
+// regCtl computes the control label applicable to a register write: every
+// non-loop scope, plus loop scopes for which the destination is loop-carried
+// (born before the scope opened).
+func (cs *ctlState) regCtl(dst int32) taint.Label {
+	l := taint.None
+	for i := range cs.ctl {
+		s := &cs.ctl[i]
+		if !s.loopExit || (cs.born[dst] >= 0 && cs.born[dst] < s.openSeq) {
+			l = cs.tbl.Union(l, s.label)
+		}
+	}
+	return l
+}
+
+// memCtl computes the control label applicable to a store: all scopes plus
+// the control context inherited from the caller.
+func (cs *ctlState) memCtl() taint.Label {
+	l := cs.ctlBase
+	for i := range cs.ctl {
+		l = cs.tbl.Union(l, cs.ctl[i].label)
+	}
+	return l
+}
+
+// set writes a register label, applying control-dependence taint and birth
+// bookkeeping under control-flow mode. Callers gate on tainting.
+func (cs *ctlState) set(labels []taint.Label, dst int32, l taint.Label) {
+	if !cs.cflow {
+		labels[dst] = l
+		return
+	}
+	if c := cs.regCtl(dst); c != taint.None {
+		l = cs.tbl.Union(l, c)
+	}
+	if cs.born[dst] < 0 {
+		cs.born[dst] = cs.writeSeq
+	}
+	cs.writeSeq++
+	labels[dst] = l
+}
+
+// push opens a control scope, merging it with an open scope of identical
+// join, label, and kind by bumping that scope's openSeq to the new write
+// sequence. The reference interpreter instead accumulates one scope per
+// executed tainted branch — one per iteration for a tainted loop exit —
+// and rescans them all on every register write. Merging preserves every
+// observable label: duplicate scopes contribute the same label to a union,
+// and a loop-carried register passes the born test against some scope of
+// the group iff it passes against the group's maximum openSeq, which is
+// exactly what the merged scope keeps. (The order in which distinct labels
+// enter a union chain can shift, so intermediate label-table ids may
+// differ from the reference; the differential harness therefore compares
+// labels by their parameter masks.)
+func (cs *ctlState) push(join int, label taint.Label, loopExit bool) {
+	for i := range cs.ctl {
+		s := &cs.ctl[i]
+		if s.join == join && s.label == label && s.loopExit == loopExit {
+			s.openSeq = cs.writeSeq
+			return
+		}
+	}
+	cs.ctl = append(cs.ctl, ctlScope{join: join, label: label, loopExit: loopExit, openSeq: cs.writeSeq})
+}
+
+// closeAt drops control scopes whose join block has been reached.
+func (cs *ctlState) closeAt(blk int32) {
+	n := 0
+	j := int(blk)
+	for _, s := range cs.ctl {
+		if s.join != j {
+			cs.ctl[n] = s
+			n++
+		}
+	}
+	cs.ctl = cs.ctl[:n]
+}
+
+// resetFast prepares the per-run fast-engine state against prog.
+func (m *Machine) resetFast(prog *Program) {
+	if len(m.globalBase) != len(prog.Mod.Globals) {
+		m.globalBase = make([]Value, len(prog.Mod.Globals))
+	}
+	for i, g := range prog.Mod.Globals {
+		m.globalBase[i] = m.globals[g.Name]
+	}
+	if len(m.externSlots) != len(prog.externs) {
+		m.externSlots = make([]Extern, len(prog.externs))
+	} else {
+		for i := range m.externSlots {
+			m.externSlots[i] = nil
+		}
+	}
+	if len(m.activeN) != len(prog.funcs) {
+		m.activeN = make([]int32, len(prog.funcs))
+	} else {
+		for i := range m.activeN {
+			m.activeN[i] = 0
+		}
+	}
+	if len(m.branchRecs) != len(prog.funcs) {
+		m.branchRecs = make([][]*taint.BranchRecord, len(prog.funcs))
+	} else {
+		for i := range m.branchRecs {
+			m.branchRecs[i] = nil
+		}
+	}
+	m.paths = m.paths[:0]
+}
+
+// frame returns the pooled activation record for the given call depth,
+// sized and zeroed for numRegs registers.
+func (m *Machine) frame(depth int, numRegs int32) *fastFrame {
+	for len(m.frames) <= depth {
+		m.frames = append(m.frames, &fastFrame{})
+	}
+	fr := m.frames[depth]
+	n := int(numRegs)
+	if cap(fr.regs) < n {
+		fr.regs = make([]Value, n)
+		fr.labels = make([]taint.Label, n)
+		fr.born = make([]int, n)
+	} else {
+		fr.regs = fr.regs[:n]
+		fr.labels = fr.labels[:n]
+		fr.born = fr.born[:n]
+		for i := range fr.regs {
+			fr.regs[i] = 0
+		}
+		for i := range fr.labels {
+			fr.labels[i] = taint.None
+		}
+	}
+	return fr
+}
+
+// childPath interns the calling context reached from parent through site,
+// creating (and rendering) the node exactly once per distinct path.
+func (m *Machine) childPath(prog *Program, parent int32, site *dcall, tainting bool) int32 {
+	pn := m.paths[parent]
+	if pn.children == nil {
+		pn.children = make(map[int32]int32, 4)
+	} else if id, ok := pn.children[site.siteID]; ok {
+		return id
+	}
+	id := int32(len(m.paths))
+	nn := &pathNode{str: pn.str + "/" + site.sym, fnIdx: site.callee}
+	if tainting && site.callee >= 0 {
+		nn.loopRecs = make([]*taint.LoopRecord, len(prog.funcs[site.callee].loops))
+	}
+	m.paths = append(m.paths, nn)
+	pn.children[site.siteID] = id
+	return id
+}
+
+// loopRec resolves (lazily, preserving the reference engine's record
+// creation order) the loop record for func-local loop li in context path.
+func (m *Machine) loopRec(df *dfunc, path *pathNode, li int32, eng *taint.Engine) *taint.LoopRecord {
+	r := path.loopRecs[li]
+	if r == nil {
+		lm := df.loops[li]
+		r = eng.LoopRec(df.name, int(lm.id), int(lm.header), path.str)
+		path.loopRecs[li] = r
+	}
+	return r
+}
+
+// loopEvent fires the precomputed latch/entry effect of a taken edge.
+func (m *Machine) loopEvent(df *dfunc, path *pathNode, kind uint8, li int32, eng *taint.Engine) {
+	r := m.loopRec(df, path, li, eng)
+	if kind == evLatch {
+		r.Iterations++
+	} else {
+		r.Entries++
+	}
+}
+
+// branchRec resolves (lazily, run-scoped) the branch record of block in df.
+func (m *Machine) branchRec(df *dfunc, block int32, eng *taint.Engine) *taint.BranchRecord {
+	brs := m.branchRecs[df.idx]
+	if brs == nil {
+		brs = make([]*taint.BranchRecord, df.numBlocks)
+		m.branchRecs[df.idx] = brs
+	}
+	r := brs[block]
+	if r == nil {
+		r = eng.BranchRec(df.name, int(block))
+		brs[block] = r
+	}
+	return r
+}
+
+// runFast executes entry on the predecoded program.
+func (m *Machine) runFast(entry string, args []Value, argLabels []taint.Label) (*Result, error) {
+	prog := m.Prog
+	if prog == nil {
+		if m.progOwned == nil {
+			m.progOwned = Predecode(m.Mod)
+		}
+		prog = m.progOwned
+	}
+	fi := prog.Func(entry)
+	if fi < 0 {
+		return nil, fmt.Errorf("interp: no function %q", entry)
+	}
+	df := prog.funcs[fi]
+	if len(args) != int(df.numParams) {
+		return nil, fmt.Errorf("interp: %q wants %d args, got %d", entry, df.numParams, len(args))
+	}
+	if err := m.reset(); err != nil {
+		return nil, err
+	}
+	m.resetFast(prog)
+
+	root := &pathNode{str: entry, fnIdx: fi}
+	if m.Taint != nil {
+		root.loopRecs = make([]*taint.LoopRecord, len(df.loops))
+	}
+	m.paths = append(m.paths, root)
+
+	fr := m.frame(0, df.numRegs)
+	copy(fr.regs, args)
+	if argLabels != nil {
+		copy(fr.labels, argLabels)
+	}
+
+	startFuel := m.fuel
+	v, l, err := m.execFast(prog, df, fr, 0, taint.None, 0)
+	if err != nil {
+		return &Result{Instructions: startFuel - m.fuel}, err
+	}
+	return &Result{Value: v, Label: l, Instructions: startFuel - m.fuel}, nil
+}
+
+// execFast wraps execLoop with the recursion accounting and tracer events
+// of one activation, mirroring the reference interpreter's call prologue.
+func (m *Machine) execFast(prog *Program, df *dfunc, fr *fastFrame, pathIdx int32, ctlBase taint.Label, depth int) (Value, taint.Label, error) {
+	eng := m.Taint
+	if m.activeN[df.idx] > 0 && eng != nil {
+		eng.WarnRecursion(df.name)
+	}
+	m.activeN[df.idx]++
+	tr := m.Tracer
+	if tr != nil {
+		tr.Enter(df.name, m.paths[pathIdx].str)
+	}
+	v, l, err := m.execLoop(prog, df, fr, pathIdx, ctlBase, depth, eng)
+	if tr != nil {
+		tr.Exit(df.name, m.paths[pathIdx].str)
+	}
+	m.activeN[df.idx]--
+	return v, l, err
+}
+
+// execLoop is the fast engine's dispatch loop: a single dense instruction
+// array, pc-threaded control flow, precomputed loop effects per edge, and
+// label bookkeeping inlined from the reference semantics. Every observable
+// action (taint unions, record updates, tracer events, instruction fuel)
+// happens in exactly the order the reference interpreter produces, which
+// the differential harness asserts.
+func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int32, ctlBase taint.Label, depth int, eng *taint.Engine) (Value, taint.Label, error) {
+	regs := fr.regs
+	labels := fr.labels
+	code := df.code
+	path := m.paths[pathIdx]
+	tainting := eng != nil
+	var tbl *taint.Table
+	if tainting {
+		tbl = eng.Table
+	}
+	cs := ctlState{ctl: fr.ctl[:0], ctlBase: ctlBase, writeSeq: 1, tbl: tbl}
+	if tainting && eng.ControlFlow {
+		cs.cflow = true
+		born := fr.born
+		for i := range born {
+			born[i] = -1
+		}
+		for i := int32(0); i < df.numParams; i++ {
+			born[i] = 0
+		}
+		cs.born = born
+	}
+
+	fuel := m.fuel
+	pc := int32(0)
+	for {
+		in := &code[pc]
+		fuel--
+		if fuel < 0 {
+			m.fuel = fuel
+			fr.ctl = cs.ctl[:0]
+			return 0, taint.None, ErrFuel
+		}
+		switch in.op {
+		case ir.OpConst:
+			regs[in.dst] = in.imm
+			if tainting {
+				cs.set(labels, in.dst, taint.None)
+			}
+			pc++
+		case ir.OpMov:
+			regs[in.dst] = regs[in.a]
+			if tainting {
+				cs.set(labels, in.dst, labels[in.a])
+			}
+			pc++
+		case ir.OpAdd:
+			regs[in.dst] = regs[in.a] + regs[in.b]
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpSub:
+			regs[in.dst] = regs[in.a] - regs[in.b]
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpMul:
+			regs[in.dst] = regs[in.a] * regs[in.b]
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpCmpLT:
+			regs[in.dst] = boolVal(regs[in.a] < regs[in.b])
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpCmpLE:
+			regs[in.dst] = boolVal(regs[in.a] <= regs[in.b])
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpCmpGT:
+			regs[in.dst] = boolVal(regs[in.a] > regs[in.b])
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpCmpGE:
+			regs[in.dst] = boolVal(regs[in.a] >= regs[in.b])
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpCmpEQ:
+			regs[in.dst] = boolVal(regs[in.a] == regs[in.b])
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpCmpNE:
+			regs[in.dst] = boolVal(regs[in.a] != regs[in.b])
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+			}
+			pc++
+		case ir.OpNeg:
+			regs[in.dst] = -regs[in.a]
+			if tainting {
+				cs.set(labels, in.dst, labels[in.a])
+			}
+			pc++
+		case ir.OpNot:
+			if regs[in.a] == 0 {
+				regs[in.dst] = 1
+			} else {
+				regs[in.dst] = 0
+			}
+			if tainting {
+				cs.set(labels, in.dst, labels[in.a])
+			}
+			pc++
+		case ir.OpLoad:
+			addr := regs[in.a] + in.imm
+			if uint64(addr) >= uint64(len(m.heap)) {
+				m.fuel = fuel
+				return 0, taint.None, fmt.Errorf("%s: interp: load out of bounds at %d (heap %d)", df.name, addr, len(m.heap))
+			}
+			regs[in.dst] = m.heap[addr]
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(m.shadow[addr], labels[in.a]))
+			}
+			pc++
+		case ir.OpStore:
+			addr := regs[in.a] + in.imm
+			l := taint.None
+			if tainting {
+				l = tbl.Union(labels[in.b], labels[in.a])
+				if cs.cflow {
+					l = tbl.Union(l, cs.memCtl())
+				}
+			}
+			if uint64(addr) >= uint64(len(m.heap)) {
+				m.fuel = fuel
+				return 0, taint.None, fmt.Errorf("%s: interp: store out of bounds at %d (heap %d)", df.name, addr, len(m.heap))
+			}
+			m.heap[addr] = regs[in.b]
+			m.shadow[addr] = l
+			pc++
+		case ir.OpAlloc:
+			base, err := m.alloc(regs[in.a])
+			if err != nil {
+				m.fuel = fuel
+				return 0, taint.None, fmt.Errorf("%s: %w", df.name, err)
+			}
+			regs[in.dst] = base
+			if tainting {
+				cs.set(labels, in.dst, taint.None)
+			}
+			pc++
+		case ir.OpGlobal:
+			if in.aux < 0 {
+				m.fuel = fuel
+				return 0, taint.None, fmt.Errorf("%s: interp: unknown global %q", df.name, in.sym)
+			}
+			regs[in.dst] = m.globalBase[in.aux]
+			if tainting {
+				cs.set(labels, in.dst, taint.None)
+			}
+			pc++
+		case ir.OpCall:
+			site := &df.calls[in.aux]
+			childCtl := taint.None
+			if cs.cflow {
+				childCtl = cs.memCtl()
+			}
+			childIdx := m.childPath(prog, pathIdx, site, tainting)
+			if site.callee >= 0 {
+				if int32(len(site.args)) != site.numParams {
+					m.fuel = fuel
+					return 0, taint.None, fmt.Errorf("interp: call %s with %d args, wants %d", site.sym, len(site.args), site.numParams)
+				}
+				cdf := prog.funcs[site.callee]
+				cf := m.frame(depth+1, cdf.numRegs)
+				for i, r := range site.args {
+					cf.regs[i] = regs[r]
+					cf.labels[i] = labels[r]
+				}
+				m.fuel = fuel
+				v, l, err := m.execFast(prog, cdf, cf, childIdx, childCtl, depth+1)
+				if err != nil {
+					fr.ctl = cs.ctl[:0]
+					return 0, taint.None, err
+				}
+				fuel = m.fuel
+				regs[in.dst] = v
+				if tainting {
+					cs.set(labels, in.dst, l)
+				}
+			} else {
+				ext := m.externSlots[site.externOrd]
+				if ext == nil {
+					ext = m.Externs[site.sym]
+					if ext == nil {
+						m.fuel = fuel
+						return 0, taint.None, fmt.Errorf("interp: unresolved call target %q", site.sym)
+					}
+					m.externSlots[site.externOrd] = ext
+				}
+				n := len(site.args)
+				if cap(fr.args) < n {
+					fr.args = make([]Value, n)
+					fr.argLabels = make([]taint.Label, n)
+				}
+				eargs := fr.args[:n]
+				elabels := fr.argLabels[:n]
+				for i, r := range site.args {
+					eargs[i] = regs[r]
+					elabels[i] = labels[r]
+				}
+				child := m.paths[childIdx]
+				if m.Tracer != nil {
+					m.Tracer.Enter(site.sym, child.str)
+				}
+				c := &fr.ext
+				c.M = m
+				c.Name = site.sym
+				c.Args = eargs
+				c.ArgLabels = elabels
+				c.CallPath = child.str
+				c.RetLabel = taint.None
+				c.recCache = &child.libRec
+				v, err := ext(c)
+				if m.Tracer != nil {
+					m.Tracer.Exit(site.sym, child.str)
+				}
+				if err != nil {
+					m.fuel = fuel
+					fr.ctl = cs.ctl[:0]
+					return 0, taint.None, fmt.Errorf("extern %s: %w", site.sym, err)
+				}
+				regs[in.dst] = v
+				if tainting {
+					cs.set(labels, in.dst, c.RetLabel)
+				}
+			}
+			pc++
+		case ir.OpWork:
+			if m.Tracer != nil {
+				m.Tracer.Work(df.name, regs[in.a])
+			}
+			pc++
+		case ir.OpRet:
+			m.fuel = fuel
+			fr.ctl = cs.ctl[:0]
+			if in.a < 0 {
+				return 0, taint.None, nil
+			}
+			return regs[in.a], labels[in.a], nil
+		case ir.OpJmp:
+			if cs.cflow && len(cs.ctl) > 0 {
+				cs.closeAt(in.blk0)
+			}
+			if tainting && in.evk0 != evNone {
+				m.loopEvent(df, path, in.evk0, in.evl0, eng)
+			}
+			pc = in.tgt0
+		case ir.OpBr:
+			cond := regs[in.a] != 0
+			if tainting {
+				condLabel := labels[in.a]
+				bm := &df.branches[in.aux]
+				for _, li := range bm.exits {
+					r := m.loopRec(df, path, li, eng)
+					r.Labels = tbl.Union(r.Labels, condLabel)
+				}
+				br := m.branchRec(df, bm.block, eng)
+				br.Labels = tbl.Union(br.Labels, condLabel)
+				br.IsLoopExit = br.IsLoopExit || len(bm.exits) > 0
+				if cond {
+					br.Taken++
+				} else {
+					br.NotTaken++
+				}
+				if cs.cflow && condLabel != taint.None {
+					cs.push(int(bm.joinBlk), condLabel, len(bm.exits) > 0)
+				}
+			}
+			if cond {
+				if cs.cflow && len(cs.ctl) > 0 {
+					cs.closeAt(in.blk0)
+				}
+				if tainting && in.evk0 != evNone {
+					m.loopEvent(df, path, in.evk0, in.evl0, eng)
+				}
+				pc = in.tgt0
+			} else {
+				if cs.cflow && len(cs.ctl) > 0 {
+					cs.closeAt(in.blk1)
+				}
+				if tainting && in.evk1 != evNone {
+					m.loopEvent(df, path, in.evk1, in.evl1, eng)
+				}
+				pc = in.tgt1
+			}
+		case ir.OpSwitch:
+			sw := &df.switches[in.aux]
+			v := regs[in.a]
+			tgt := &sw.def
+			for i := range sw.cases {
+				if sw.cases[i].val == v {
+					tgt = &sw.cases[i]
+					break
+				}
+			}
+			if tainting {
+				condLabel := labels[in.a]
+				for _, li := range sw.exits {
+					r := m.loopRec(df, path, li, eng)
+					r.Labels = tbl.Union(r.Labels, condLabel)
+				}
+				if cs.cflow && condLabel != taint.None {
+					cs.push(int(sw.joinBlk), condLabel, len(sw.exits) > 0)
+				}
+			}
+			if cs.cflow && len(cs.ctl) > 0 {
+				cs.closeAt(tgt.blk)
+			}
+			if tainting && tgt.evk != evNone {
+				m.loopEvent(df, path, tgt.evk, tgt.evl, eng)
+			}
+			pc = tgt.pc
+		default:
+			a, b := regs[in.a], Value(0)
+			var la, lb taint.Label
+			la = labels[in.a]
+			if in.b >= 0 {
+				b = regs[in.b]
+				lb = labels[in.b]
+			}
+			regs[in.dst] = binop(in.op, a, b)
+			if tainting {
+				cs.set(labels, in.dst, tbl.Union(la, lb))
+			}
+			pc++
+		}
+	}
+}

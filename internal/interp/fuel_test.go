@@ -1,0 +1,60 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildSpin creates main(n): a counted loop of n iterations doing a little
+// arithmetic, for deterministic instruction counts.
+func buildSpin(m *ir.Module) {
+	b := ir.NewFunc(m, "main", 1)
+	acc := b.Const(0)
+	b.For(b.Const(0), b.Param(0), b.Const(1), func(i ir.Reg) {
+		b.MovTo(acc, b.Add(acc, i))
+	})
+	b.Ret(acc)
+	b.Finish()
+}
+
+// TestFuelPartialCounts verifies that a fuel-exhausted run reports the
+// instructions executed up to the abort alongside ErrFuel, in both engine
+// modes, so overhead experiments can account truncated runs.
+func TestFuelPartialCounts(t *testing.T) {
+	mod := ir.NewModule("spin")
+	buildSpin(mod)
+
+	for _, mode := range []Mode{ModeFast, ModeReference} {
+		mach := NewMachine(mod)
+		mach.Mode = mode
+		res, err := mach.Run("main", []Value{1000}, nil)
+		if err != nil {
+			t.Fatalf("mode %d: full run failed: %v", mode, err)
+		}
+		total := res.Instructions
+		if total < 1000 {
+			t.Fatalf("mode %d: implausible instruction count %d", mode, total)
+		}
+
+		mach = NewMachine(mod)
+		mach.Mode = mode
+		mach.Fuel = total / 2
+		res, err = mach.Run("main", []Value{1000}, nil)
+		if !errors.Is(err, ErrFuel) {
+			t.Fatalf("mode %d: want ErrFuel, got %v", mode, err)
+		}
+		if res == nil {
+			t.Fatalf("mode %d: want partial result alongside ErrFuel, got nil", mode)
+		}
+		// The aborted instruction consumed the last fuel unit before the
+		// abort check, so the partial count is budget+1 in both engines.
+		if want := total/2 + 1; res.Instructions != want {
+			t.Errorf("mode %d: partial instructions = %d, want %d", mode, res.Instructions, want)
+		}
+		if res.Value != 0 {
+			t.Errorf("mode %d: partial result value = %d, want 0", mode, res.Value)
+		}
+	}
+}

@@ -6,6 +6,14 @@
 // and loop back edges are counted. A tracer hook observes function enter and
 // exit events and abstract work, which the measurement substrate uses to
 // model instrumentation intrusion.
+//
+// Two engines implement these semantics. The default fast engine executes a
+// predecoded Program: dense per-function instruction arrays with resolved
+// branch targets and per-edge loop effects, pooled call frames, and interned
+// call paths whose taint records resolve to cached pointers (see
+// predecode.go and fast.go). The original tree-walking interpreter is kept
+// behind Machine.Mode == ModeReference as the semantic oracle; the
+// differential test harness proves both produce identical observables.
 package interp
 
 import (
@@ -42,6 +50,30 @@ type ExternCall struct {
 	// RetLabel is the taint label attached to the returned value; externs
 	// acting as taint sources set it.
 	RetLabel taint.Label
+
+	// recCache, when set by the fast engine, points at the interned call
+	// path's library-record slot so RecordLibCall is O(1) after the first
+	// call per calling context.
+	recCache **taint.LibCallRecord
+}
+
+// RecordLibCall records one execution of this library call with the given
+// dependency labels. Under the fast engine the record resolution is cached
+// on the interned call path; under the reference engine it falls back to
+// the string-keyed map, producing identical records either way.
+func (c *ExternCall) RecordLibCall(eng *taint.Engine, labels taint.Label) {
+	var r *taint.LibCallRecord
+	if c.recCache != nil {
+		r = *c.recCache
+	}
+	if r == nil {
+		r = eng.LibCallRec(taint.CallerFromPath(c.CallPath, c.Name), c.Name, c.CallPath)
+		if c.recCache != nil {
+			*c.recCache = r
+		}
+	}
+	r.Labels = eng.Table.Union(r.Labels, labels)
+	r.Count++
 }
 
 // Extern implements a library function outside the IR module (e.g. the MPI
@@ -60,6 +92,21 @@ type funcInfo struct {
 	latchOf map[uint64]*cfg.Loop
 }
 
+// Mode selects the execution engine of a Machine.
+type Mode uint8
+
+const (
+	// ModeFast (the default) runs the predecoded dense-dispatch engine:
+	// per-function instruction arrays with pre-resolved branch targets and
+	// loop effects, pooled frames, and interned call paths with O(1) taint
+	// records. The differential test harness proves it produces identical
+	// observables to the reference engine.
+	ModeFast Mode = iota
+	// ModeReference runs the original tree-walking interpreter, kept as
+	// the semantic oracle for differential testing.
+	ModeReference
+)
+
 // Machine executes functions of one module with optional taint and tracing.
 type Machine struct {
 	Mod     *ir.Module
@@ -68,6 +115,12 @@ type Machine struct {
 	Tracer  Tracer
 	// Fuel bounds the number of executed instructions (0 = default 500M).
 	Fuel int64
+	// Mode selects the fast engine (default) or the reference interpreter.
+	Mode Mode
+	// Prog, when set, is the shared predecoded program for Mod (see
+	// Predecode); batch runs cache one Program across all machines. When
+	// nil the fast engine predecodes lazily and caches per machine.
+	Prog *Program
 
 	heap      []Value
 	shadow    []taint.Label
@@ -75,6 +128,15 @@ type Machine struct {
 	infoCache map[string]*funcInfo
 	active    map[string]int // recursion detection
 	fuel      int64
+
+	// Fast-engine per-run state (see fast.go).
+	progOwned   *Program
+	globalBase  []Value
+	externSlots []Extern
+	activeN     []int32
+	frames      []*fastFrame
+	paths       []*pathNode
+	branchRecs  [][]*taint.BranchRecord
 }
 
 // NewMachine prepares a machine for module m. Externs and Taint may be set
@@ -124,11 +186,36 @@ func (m *Machine) alloc(size Value) (Value, error) {
 	}
 	const maxHeap = 1 << 28
 	base := Value(len(m.heap))
-	if int64(len(m.heap))+size > maxHeap {
-		return 0, fmt.Errorf("interp: heap limit exceeded (%d cells)", int64(len(m.heap))+size)
+	need := int64(len(m.heap)) + size
+	if need > maxHeap {
+		return 0, fmt.Errorf("interp: heap limit exceeded (%d cells)", need)
 	}
-	m.heap = append(m.heap, make([]Value, size)...)
-	m.shadow = append(m.shadow, make([]taint.Label, size)...)
+	// Grow with explicit doubling: applications allocate incrementally, and
+	// the default append growth factor for large slices copies the heap far
+	// more often. Regions re-extended into retained capacity (machine or
+	// heap reuse across runs) are zeroed explicitly.
+	if int64(cap(m.heap)) < need {
+		newCap := 2 * int64(cap(m.heap))
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		heap := make([]Value, len(m.heap), newCap)
+		copy(heap, m.heap)
+		m.heap = heap
+		shadow := make([]taint.Label, len(m.shadow), newCap)
+		copy(shadow, m.shadow)
+		m.shadow = shadow
+		m.heap = m.heap[:need]
+		m.shadow = m.shadow[:need]
+		return base, nil
+	}
+	m.heap = m.heap[:need]
+	m.shadow = m.shadow[:need]
+	clear(m.heap[base:])
+	clear(m.shadow[base:])
 	return base, nil
 }
 
@@ -186,7 +273,14 @@ type Result struct {
 
 // Run executes entry with the given arguments; argLabels taints the formal
 // parameters (the paper's register_variable sources) and may be nil.
+//
+// On an execution error the returned Result is non-nil with Instructions
+// set to the fuel consumed up to the abort, so callers can account for
+// truncated runs (most usefully with ErrFuel); Value and Label are zero.
 func (m *Machine) Run(entry string, args []Value, argLabels []taint.Label) (*Result, error) {
+	if m.Mode == ModeFast {
+		return m.runFast(entry, args, argLabels)
+	}
 	fn, ok := m.Mod.Funcs[entry]
 	if !ok {
 		return nil, fmt.Errorf("interp: no function %q", entry)
@@ -200,7 +294,7 @@ func (m *Machine) Run(entry string, args []Value, argLabels []taint.Label) (*Res
 	startFuel := m.fuel
 	v, l, err := m.call(fn, args, argLabels, taint.None, entry)
 	if err != nil {
-		return nil, err
+		return &Result{Instructions: startFuel - m.fuel}, err
 	}
 	return &Result{Value: v, Label: l, Instructions: startFuel - m.fuel}, nil
 }

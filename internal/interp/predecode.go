@@ -1,0 +1,278 @@
+package interp
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Program is the predecoded, execution-ready form of an ir.Module: every
+// function flattened into a dense instruction array with branch targets
+// resolved to instruction indices, loop latch/entry/exit effects precomputed
+// per control-flow edge, call sites bound to decoded callees (or extern
+// ordinals), and globals bound to ordinals. A Program is immutable after
+// Predecode and safe for concurrent use by any number of machines — the
+// batch runner shares one Program across all configurations of a sweep.
+type Program struct {
+	Mod *ir.Module
+
+	funcs  []*dfunc
+	byName map[string]int32
+	// externs lists the distinct non-module call symbols; machines resolve
+	// them against their Externs map once per run into a dense slot array.
+	externs   []string
+	externOrd map[string]int32
+	// globalOrd maps a global name to its allocation ordinal (the position
+	// in Mod.Globals whose base address the machine records at reset; for
+	// duplicate names the last allocation wins, matching the reference
+	// interpreter's map semantics).
+	globalOrd map[string]int32
+	numSites  int32
+}
+
+// Func returns the decoded function index for name, or -1.
+func (p *Program) Func(name string) int32 {
+	if i, ok := p.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumFuncs returns the number of decoded functions.
+func (p *Program) NumFuncs() int { return len(p.funcs) }
+
+// edge-event kinds attached to decoded control-flow edges.
+const (
+	evNone uint8 = iota
+	evLatch
+	evEntry
+)
+
+// dinstr is one decoded instruction. Register operands are pre-narrowed,
+// branch targets are instruction indices (tgt*) paired with the target block
+// id (blk*, needed to close control scopes that join there) and the loop
+// event the edge fires (evk*/evl*). aux indexes the per-function side tables
+// for calls, branches, and switches.
+type dinstr struct {
+	op         ir.Opcode
+	evk0, evk1 uint8
+	dst, a, b  int32
+	tgt0, tgt1 int32
+	blk0, blk1 int32
+	evl0, evl1 int32
+	aux        int32
+	imm        int64
+	sym        string
+}
+
+// dbranch is the precomputed terminator metadata of one conditional branch:
+// the source block, the control-scope join block (immediate post-dominator),
+// and the loops for which this branch is an exit (taint sinks).
+type dbranch struct {
+	block   int32
+	joinBlk int32
+	exits   []int32
+}
+
+// dcase is one decoded switch arm (or the default) with its edge effects.
+type dcase struct {
+	val int64
+	pc  int32
+	blk int32
+	evk uint8
+	evl int32
+}
+
+// dswitch is the precomputed metadata of one switch terminator.
+type dswitch struct {
+	block   int32
+	joinBlk int32
+	exits   []int32
+	cases   []dcase
+	def     dcase
+}
+
+// dcall is one pre-bound call site. callee >= 0 points at a decoded module
+// function; otherwise externOrd names the machine extern slot. siteID is
+// module-unique and keys the interned call-path tree.
+type dcall struct {
+	sym       string
+	siteID    int32
+	callee    int32
+	externOrd int32
+	numParams int32
+	args      []int32
+}
+
+// loopMeta carries the identity of one func-local natural loop for lazy
+// taint-record resolution.
+type loopMeta struct {
+	id     int32
+	header int32
+}
+
+// dfunc is one decoded function.
+type dfunc struct {
+	fn        *ir.Function
+	idx       int32
+	name      string
+	numParams int32
+	numRegs   int32
+	numBlocks int32
+	code      []dinstr
+	blockPC   []int32
+	calls     []dcall
+	branches  []dbranch
+	switches  []dswitch
+	loops     []loopMeta
+}
+
+// Predecode flattens every function of mod for the fast engine. It is pure
+// analysis — building CFGs, loop forests, and post-dominators exactly as the
+// reference interpreter does per call — performed once per module.
+func Predecode(mod *ir.Module) *Program {
+	p := &Program{
+		Mod:       mod,
+		byName:    make(map[string]int32, len(mod.FuncList)),
+		externOrd: make(map[string]int32),
+		globalOrd: make(map[string]int32, len(mod.Globals)),
+	}
+	for i, g := range mod.Globals {
+		p.globalOrd[g.Name] = int32(i)
+	}
+	for i, fn := range mod.FuncList {
+		p.byName[fn.Name] = int32(i)
+	}
+	for i, fn := range mod.FuncList {
+		p.funcs = append(p.funcs, p.decodeFunc(fn, int32(i)))
+	}
+	return p
+}
+
+func (p *Program) externSlot(sym string) int32 {
+	if o, ok := p.externOrd[sym]; ok {
+		return o
+	}
+	o := int32(len(p.externs))
+	p.externs = append(p.externs, sym)
+	p.externOrd[sym] = o
+	return o
+}
+
+func (p *Program) decodeFunc(fn *ir.Function, idx int32) *dfunc {
+	g := cfg.Build(fn)
+	loops := cfg.FindLoops(g)
+	ipdom := cfg.PostDominators(g)
+
+	df := &dfunc{
+		fn:        fn,
+		idx:       idx,
+		name:      fn.Name,
+		numParams: int32(fn.NumParams),
+		numRegs:   int32(fn.NumRegs),
+		numBlocks: int32(len(fn.Blocks)),
+		blockPC:   make([]int32, len(fn.Blocks)),
+	}
+	for _, l := range loops.Loops {
+		df.loops = append(df.loops, loopMeta{id: int32(l.ID), header: int32(l.Header)})
+	}
+
+	// First pass: lay out block start pcs.
+	pc := int32(0)
+	for i, blk := range fn.Blocks {
+		df.blockPC[i] = pc
+		pc += int32(len(blk.Instrs))
+	}
+	df.code = make([]dinstr, 0, pc)
+
+	exitsOf := func(b int) []int32 {
+		var out []int32
+		for _, l := range loops.ExitLoops(b) {
+			out = append(out, int32(l.ID))
+		}
+		return out
+	}
+	edge := func(from, to int) (uint8, int32) {
+		kind, l := loops.ClassifyEdge(from, to)
+		switch kind {
+		case cfg.EdgeLatch:
+			return evLatch, int32(l.ID)
+		case cfg.EdgeEntry:
+			return evEntry, int32(l.ID)
+		}
+		return evNone, 0
+	}
+
+	// Second pass: decode instructions with resolved targets.
+	for bi, blk := range fn.Blocks {
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			d := dinstr{
+				op:  in.Op,
+				dst: int32(in.Dst), a: int32(in.A), b: int32(in.B),
+				imm: in.Imm, sym: in.Sym,
+			}
+			switch in.Op {
+			case ir.OpJmp:
+				d.tgt0 = df.blockPC[in.Blk0]
+				d.blk0 = int32(in.Blk0)
+				d.evk0, d.evl0 = edge(bi, in.Blk0)
+			case ir.OpBr:
+				d.tgt0, d.tgt1 = df.blockPC[in.Blk0], df.blockPC[in.Blk1]
+				d.blk0, d.blk1 = int32(in.Blk0), int32(in.Blk1)
+				d.evk0, d.evl0 = edge(bi, in.Blk0)
+				d.evk1, d.evl1 = edge(bi, in.Blk1)
+				d.aux = int32(len(df.branches))
+				df.branches = append(df.branches, dbranch{
+					block:   int32(bi),
+					joinBlk: int32(ipdom[bi]),
+					exits:   exitsOf(bi),
+				})
+			case ir.OpSwitch:
+				sw := dswitch{
+					block:   int32(bi),
+					joinBlk: int32(ipdom[bi]),
+					exits:   exitsOf(bi),
+				}
+				defEvk, defEvl := edge(bi, in.Blk0)
+				sw.def = dcase{pc: df.blockPC[in.Blk0], blk: int32(in.Blk0), evk: defEvk, evl: defEvl}
+				for _, c := range in.Cases {
+					evk, evl := edge(bi, c.Block)
+					sw.cases = append(sw.cases, dcase{
+						val: c.Value, pc: df.blockPC[c.Block], blk: int32(c.Block),
+						evk: evk, evl: evl,
+					})
+				}
+				d.aux = int32(len(df.switches))
+				df.switches = append(df.switches, sw)
+			case ir.OpCall:
+				dc := dcall{
+					sym:       in.Sym,
+					siteID:    p.numSites,
+					callee:    -1,
+					externOrd: -1,
+					numParams: -1,
+				}
+				p.numSites++
+				for _, a := range in.Args {
+					dc.args = append(dc.args, int32(a))
+				}
+				if callee, ok := p.byName[in.Sym]; ok {
+					dc.callee = callee
+					dc.numParams = int32(p.Mod.FuncList[callee].NumParams)
+				} else {
+					dc.externOrd = p.externSlot(in.Sym)
+				}
+				d.aux = int32(len(df.calls))
+				df.calls = append(df.calls, dc)
+			case ir.OpGlobal:
+				if o, ok := p.globalOrd[in.Sym]; ok {
+					d.aux = o
+				} else {
+					d.aux = -1
+				}
+			}
+			df.code = append(df.code, d)
+		}
+	}
+	return df
+}

@@ -142,7 +142,9 @@ func (db *DB) execute(e Entry, c *interp.ExternCall, engine *taint.Engine, cfg R
 		if e.CountArg >= 0 && e.CountArg < len(c.ArgLabels) {
 			l = engine.Table.Union(l, c.ArgLabels[e.CountArg])
 		}
-		engine.RecordLibCall(c.CallPath, e.Name, l)
+		// Route through the call-site record cache: O(1) per call under the
+		// fast engine's interned paths, map-backed under the reference one.
+		c.RecordLibCall(engine, l)
 	}
 	switch e.Name {
 	case "MPI_Comm_size":

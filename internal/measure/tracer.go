@@ -1,0 +1,68 @@
+package measure
+
+import (
+	"sort"
+
+	"repro/internal/interp"
+)
+
+// CallTracer is the measurement-facing interp.Tracer: it accumulates the
+// per-function visit counts and abstract work volumes an instrumented run
+// would observe (Score-P's "visits" metric), plus per-call-path visits for
+// calling-context profiles. The interned call paths of the fast engine
+// render each distinct path string exactly once, so attaching a CallTracer
+// costs two map updates per call event and nothing per instruction.
+type CallTracer struct {
+	// Visits counts function entries by function name.
+	Visits map[string]int64
+	// PathVisits counts function entries by full call path.
+	PathVisits map[string]int64
+	// WorkUnits accumulates abstract work per function.
+	WorkUnits map[string]int64
+}
+
+var _ interp.Tracer = (*CallTracer)(nil)
+
+// NewCallTracer returns an empty tracer.
+func NewCallTracer() *CallTracer {
+	return &CallTracer{
+		Visits:     make(map[string]int64),
+		PathVisits: make(map[string]int64),
+		WorkUnits:  make(map[string]int64),
+	}
+}
+
+// Enter records one visit of fn under callPath.
+func (t *CallTracer) Enter(fn, callPath string) {
+	t.Visits[fn]++
+	t.PathVisits[callPath]++
+}
+
+// Exit is a no-op; visits are counted on entry.
+func (t *CallTracer) Exit(fn, callPath string) {}
+
+// Work accumulates abstract work units against fn.
+func (t *CallTracer) Work(fn string, units int64) { t.WorkUnits[fn] += units }
+
+// Events returns the total number of instrumentation events (enter+exit
+// pairs) a run with the given instrumented set would generate — the
+// quantity the intrusion model charges for.
+func (t *CallTracer) Events(instrumented map[string]bool) int64 {
+	var n int64
+	for fn, v := range t.Visits {
+		if instrumented == nil || instrumented[fn] {
+			n += 2 * v
+		}
+	}
+	return n
+}
+
+// SortedPaths returns the observed call paths in deterministic order.
+func (t *CallTracer) SortedPaths() []string {
+	out := make([]string, 0, len(t.PathVisits))
+	for p := range t.PathVisits {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// buildCallTree creates main -> helper (3x) with per-call work, to exercise
+// visit and path accounting.
+func buildCallTree() *ir.Module {
+	mod := ir.NewModule("tracer")
+
+	h := ir.NewFunc(mod, "helper", 1)
+	h.Work(h.Param(0))
+	h.Ret(h.Param(0))
+	h.Finish()
+
+	b := ir.NewFunc(mod, "main", 1)
+	b.ForConst(0, 3, func(i ir.Reg) {
+		b.Call("helper", i)
+	})
+	b.Ret(b.Param(0))
+	b.Finish()
+	return mod
+}
+
+func runTraced(t *testing.T, mode interp.Mode) *CallTracer {
+	t.Helper()
+	tr := NewCallTracer()
+	mach := interp.NewMachine(buildCallTree())
+	mach.Mode = mode
+	mach.Tracer = tr
+	if _, err := mach.Run("main", []interp.Value{7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCallTracerCountsVisitsAndWork(t *testing.T) {
+	for _, mode := range []interp.Mode{interp.ModeFast, interp.ModeReference} {
+		tr := runTraced(t, mode)
+		if tr.Visits["main"] != 1 || tr.Visits["helper"] != 3 {
+			t.Errorf("mode %d: visits = %v", mode, tr.Visits)
+		}
+		if tr.PathVisits["main/helper"] != 3 {
+			t.Errorf("mode %d: path visits = %v", mode, tr.PathVisits)
+		}
+		if tr.WorkUnits["helper"] != 0+1+2 {
+			t.Errorf("mode %d: work = %v", mode, tr.WorkUnits)
+		}
+		if got := tr.Events(map[string]bool{"helper": true}); got != 6 {
+			t.Errorf("mode %d: events(helper) = %d, want 6", mode, got)
+		}
+		if got := tr.Events(nil); got != 8 {
+			t.Errorf("mode %d: events(all) = %d, want 8", mode, got)
+		}
+	}
+}
+
+// TestCallTracerModeAgnostic asserts the fast engine produces the identical
+// tracer-visible profile as the reference interpreter.
+func TestCallTracerModeAgnostic(t *testing.T) {
+	fast := runTraced(t, interp.ModeFast)
+	ref := runTraced(t, interp.ModeReference)
+	if !reflect.DeepEqual(fast.Visits, ref.Visits) ||
+		!reflect.DeepEqual(fast.PathVisits, ref.PathVisits) ||
+		!reflect.DeepEqual(fast.WorkUnits, ref.WorkUnits) {
+		t.Errorf("tracer profiles diverged:\nfast: %v %v %v\nref:  %v %v %v",
+			fast.Visits, fast.PathVisits, fast.WorkUnits,
+			ref.Visits, ref.PathVisits, ref.WorkUnits)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/interp"
 )
 
 // summarize renders every deterministic projection of a report so batch
@@ -103,6 +104,43 @@ func TestBatchSharesPreparation(t *testing.T) {
 		}
 		if fmt.Sprintf("%p", r.Report.Static) != fmt.Sprintf("%p", res[0].Report.Static) {
 			t.Errorf("job %d re-ran the static pass", i)
+		}
+	}
+}
+
+// TestBatchDifferentialEngines fans the same sweep out under the fast and
+// reference interpreters (one shared predecoded Program each way) and
+// requires byte-identical reports, covering the concurrent path of the
+// fast engine.
+func TestBatchDifferentialEngines(t *testing.T) {
+	spec := apps.LULESH()
+	cfgs := luleshConfigs()
+
+	pFast, err := core.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pFast.Program == nil {
+		t.Fatal("Prepare did not predecode the module")
+	}
+	pRef, err := core.Prepare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRef.Mode = interp.ModeReference
+
+	r := &Runner{Workers: 4}
+	fast := r.AnalyzeBatchPrepared(pFast, cfgs)
+	ref := r.AnalyzeBatchPrepared(pRef, cfgs)
+	if err := FirstErr(fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if got, want := summarize(fast[i].Report), summarize(ref[i].Report); got != want {
+			t.Errorf("config %d: engines diverged:\n--- fast ---\n%s--- reference ---\n%s", i, got, want)
 		}
 	}
 }

@@ -89,10 +89,9 @@ func NewEngine() *Engine {
 	}
 }
 
-// RecordLibCall notes an execution of the library function callee with the
-// given dependency labels; callPath is the interpreter call path ending in
-// callee.
-func (e *Engine) RecordLibCall(callPath, callee string, labels Label) {
+// CallerFromPath extracts the calling function from a call path ending in
+// callee: the path component immediately before the final "/callee".
+func CallerFromPath(callPath, callee string) string {
 	caller := ""
 	if i := len(callPath) - len(callee) - 1; i > 0 {
 		head := callPath[:i]
@@ -106,12 +105,29 @@ func (e *Engine) RecordLibCall(callPath, callee string, labels Label) {
 			caller = head
 		}
 	}
+	return caller
+}
+
+// LibCallRec resolves (creating on first use) the record of the library call
+// site identified by caller, callee, and call path. The fast interpreter
+// resolves once per interned call path and then updates the record with
+// plain field writes; the string-keyed map stays the source of truth so
+// reporting is unchanged.
+func (e *Engine) LibCallRec(caller, callee, callPath string) *LibCallRecord {
 	k := LibCallKey{Caller: caller, Callee: callee, CallPath: callPath}
 	r := e.LibCalls[k]
 	if r == nil {
 		r = &LibCallRecord{Key: k}
 		e.LibCalls[k] = r
 	}
+	return r
+}
+
+// RecordLibCall notes an execution of the library function callee with the
+// given dependency labels; callPath is the interpreter call path ending in
+// callee.
+func (e *Engine) RecordLibCall(callPath, callee string, labels Label) {
+	r := e.LibCallRec(CallerFromPath(callPath, callee), callee, callPath)
 	r.Labels = e.Table.Union(r.Labels, labels)
 	r.Count++
 }
@@ -133,50 +149,55 @@ func (e *Engine) FuncLibDeps() map[string][]string {
 	return out
 }
 
-// RecordLoopExit is the taint sink for loop exit conditions (Section 4.1):
-// it unions the condition label into the loop's record for the current call
-// path.
-func (e *Engine) RecordLoopExit(fn string, loopID, header int, callPath string, cond Label) {
+// LoopRec resolves (creating on first use) the record of loop loopID of fn
+// in calling context callPath. Records are created lazily — only loops that
+// actually fire an event appear in Loops — so resolution order is identical
+// between the reference and fast interpreters.
+func (e *Engine) LoopRec(fn string, loopID, header int, callPath string) *LoopRecord {
 	k := LoopKey{Func: fn, LoopID: loopID, CallPath: callPath}
 	r := e.Loops[k]
 	if r == nil {
 		r = &LoopRecord{Key: k, Header: header}
 		e.Loops[k] = r
 	}
+	return r
+}
+
+// RecordLoopExit is the taint sink for loop exit conditions (Section 4.1):
+// it unions the condition label into the loop's record for the current call
+// path.
+func (e *Engine) RecordLoopExit(fn string, loopID, header int, callPath string, cond Label) {
+	r := e.LoopRec(fn, loopID, header, callPath)
 	r.Labels = e.Table.Union(r.Labels, cond)
 }
 
 // RecordIteration counts one executed back edge of the loop.
 func (e *Engine) RecordIteration(fn string, loopID, header int, callPath string) {
-	k := LoopKey{Func: fn, LoopID: loopID, CallPath: callPath}
-	r := e.Loops[k]
-	if r == nil {
-		r = &LoopRecord{Key: k, Header: header}
-		e.Loops[k] = r
-	}
-	r.Iterations++
+	e.LoopRec(fn, loopID, header, callPath).Iterations++
 }
 
 // RecordEntry counts one loop entry (used to derive per-entry trip counts).
 func (e *Engine) RecordEntry(fn string, loopID, header int, callPath string) {
-	k := LoopKey{Func: fn, LoopID: loopID, CallPath: callPath}
-	r := e.Loops[k]
-	if r == nil {
-		r = &LoopRecord{Key: k, Header: header}
-		e.Loops[k] = r
-	}
-	r.Entries++
+	e.LoopRec(fn, loopID, header, callPath).Entries++
 }
 
-// RecordBranch tracks a conditional branch execution outside loop-exit
-// position (or marks it as loop exit), with its condition label.
-func (e *Engine) RecordBranch(fn string, block int, cond Label, taken, isLoopExit bool) {
+// BranchRec resolves (creating on first use) the record of the conditional
+// branch terminating block of fn. Branch records are context-insensitive, so
+// the fast interpreter caches the pointer per function per run.
+func (e *Engine) BranchRec(fn string, block int) *BranchRecord {
 	k := BranchKey{Func: fn, Block: block}
 	r := e.Branches[k]
 	if r == nil {
 		r = &BranchRecord{Key: k}
 		e.Branches[k] = r
 	}
+	return r
+}
+
+// RecordBranch tracks a conditional branch execution outside loop-exit
+// position (or marks it as loop exit), with its condition label.
+func (e *Engine) RecordBranch(fn string, block int, cond Label, taken, isLoopExit bool) {
+	r := e.BranchRec(fn, block)
 	r.Labels = e.Table.Union(r.Labels, cond)
 	r.IsLoopExit = r.IsLoopExit || isLoopExit
 	if taken {

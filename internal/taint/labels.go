@@ -31,13 +31,18 @@ const MaxBaseLabels = 64
 // the table additionally verifies that operands do not represent an
 // equivalent combination before allocating a new identifier.
 type Table struct {
-	names   []string           // base label names, index = base ordinal
-	byName  map[string]Label   // base name -> label id
-	masks   []uint64           // label id -> expansion bitmask over base ordinals
-	parents [][2]Label         // label id -> the two joined labels (0,0 for base)
-	byMask  map[uint64]Label   // expansion -> canonical label id
-	baseOrd map[Label]int      // base label id -> ordinal
-	unions  map[[2]Label]Label // memo for Union fast path
+	names   []string         // base label names, index = base ordinal
+	byName  map[string]Label // base name -> label id
+	masks   []uint64         // label id -> expansion bitmask over base ordinals
+	parents [][2]Label       // label id -> the two joined labels (0,0 for base)
+	byMask  map[uint64]Label // expansion -> canonical label id
+	baseOrd map[Label]int    // base label id -> ordinal
+	// cache[a][b] (a < b) memoizes Union results as a dense, lazily grown
+	// table (0 = not yet computed; a real union of distinct non-empty
+	// labels is never None). Union is the single hottest operation of a
+	// tainted run — every instruction joins its operand labels — and a
+	// direct array probe beats hashing a map key by an order of magnitude.
+	cache [][]Label
 }
 
 // NewTable returns an empty label table.
@@ -46,12 +51,12 @@ func NewTable() *Table {
 		byName:  make(map[string]Label),
 		byMask:  make(map[uint64]Label),
 		baseOrd: make(map[Label]int),
-		unions:  make(map[[2]Label]Label),
 	}
 	// Reserve id 0 for the empty label.
 	t.names = append(t.names, "")
 	t.masks = append(t.masks, 0)
 	t.parents = append(t.parents, [2]Label{})
+	t.cache = append(t.cache, nil)
 	t.byMask[0] = None
 	return t
 }
@@ -64,6 +69,7 @@ func (t *Table) alloc(name string, mask uint64, p0, p1 Label) Label {
 	t.names = append(t.names, name)
 	t.masks = append(t.masks, mask)
 	t.parents = append(t.parents, [2]Label{p0, p1})
+	t.cache = append(t.cache, nil)
 	return id
 }
 
@@ -102,9 +108,11 @@ func (t *Table) Union(a, b Label) Label {
 	if a > b {
 		a, b = b, a
 	}
-	key := [2]Label{a, b}
-	if l, ok := t.unions[key]; ok {
-		return l
+	row := t.cache[a]
+	if int(b) < len(row) {
+		if l := row[b]; l != None {
+			return l
+		}
 	}
 	mask := t.masks[a] | t.masks[b]
 	l, ok := t.byMask[mask]
@@ -112,7 +120,13 @@ func (t *Table) Union(a, b Label) Label {
 		l = t.alloc("", mask, a, b)
 		t.byMask[mask] = l
 	}
-	t.unions[key] = l
+	if int(b) >= len(row) {
+		grown := make([]Label, int(b)+1)
+		copy(grown, row)
+		row = grown
+		t.cache[a] = row
+	}
+	row[b] = l
 	return l
 }
 
