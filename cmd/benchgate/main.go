@@ -1,0 +1,332 @@
+// Command benchgate is the CI benchmark regression gate: it compares the
+// interpreter benchmarks' ns/instr metric against a checked-in baseline
+// and fails the build when any benchmark regresses beyond the allowed
+// fraction.
+//
+// Gate mode (exit 1 on regression):
+//
+//	go test -run '^$' -bench 'BenchmarkTaintedRun/|BenchmarkUntaintedRun/' \
+//	    -benchtime 10x -count 5 -json . | go run ./cmd/benchgate -baseline BENCH_baseline.json
+//
+// Baseline refresh (after an intentional perf change, on a quiet machine):
+//
+//	go test -run '^$' -bench 'BenchmarkTaintedRun/|BenchmarkUntaintedRun/' \
+//	    -benchtime 10x -count 5 -json . | go run ./cmd/benchgate -update BENCH_baseline.json
+//
+// Input is the `go test -json` stream (raw `go test -bench` text works
+// too). Benchmark names are normalized by stripping the -N GOMAXPROCS
+// suffix so baselines transfer across core counts, and repeated samples
+// of one benchmark (-count N) collapse to their MINIMUM — scheduler and
+// cache noise only ever adds time, so min-of-N is the robust estimator
+// of what the code can do. The gated metric is ns/instr — nanoseconds
+// per interpreted instruction — which tracks engine efficiency rather
+// than workload size and is the least machine-entangled timing the suite
+// emits.
+//
+// ns/instr still scales with absolute CPU speed, and the machine that
+// refreshes the baseline is rarely the machine that runs the gate. The
+// gate therefore divides every current/baseline ratio by the MEDIAN
+// ratio across all benchmarks before applying the threshold: a uniform
+// hardware shift moves every benchmark equally and cancels out, while a
+// targeted regression (one engine, one workload) sticks out of the
+// median and trips the gate. The median itself is bounded by the
+// baseline's max_scale — a whole-suite slowdown beyond that fails with
+// a refresh hint instead of passing as "hardware". -absolute disables
+// normalization and compares raw values (same-machine use).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in reference: the gated metric per benchmark.
+type Baseline struct {
+	// Metric names the gated unit (informational; always "ns/instr").
+	Metric string `json:"metric"`
+	// MaxRegress is the allowed fractional slowdown (0.25 = +25%).
+	// The -max-regress flag overrides it when > 0.
+	MaxRegress float64 `json:"max_regress"`
+	// MaxScale bounds the median current/baseline ratio: hardware
+	// differences up to this factor normalize away, a whole-suite
+	// slowdown beyond it fails the gate. <= 0 means 2.5.
+	MaxScale float64 `json:"max_scale"`
+	// Refresh documents the regeneration command for whoever trips the gate.
+	Refresh string `json:"refresh"`
+	// Benchmarks maps normalized benchmark name to baseline ns/instr.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// testEvent is the subset of the `go test -json` event schema we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches one benchmark result line, e.g.
+// "BenchmarkTaintedRun/quickstart/fast-8  3  81350 ns/op  14.10 ns/instr".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// cpuSuffix strips the trailing -N GOMAXPROCS marker from a bench name.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+const metricName = "ns/instr"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline to gate against")
+	update := flag.String("update", "", "refresh the baseline at this path instead of gating (widen-merges with the existing file)")
+	reset := flag.Bool("reset", false, "with -update: discard the existing baseline's values instead of widen-merging")
+	current := flag.String("current", "-", "bench output to read ('-' = stdin)")
+	maxRegress := flag.Float64("max-regress", 0, "allowed fractional slowdown (0 = use baseline's)")
+	absolute := flag.Bool("absolute", false, "compare raw ns/instr without hardware normalization")
+	flag.Parse()
+
+	in := os.Stdin
+	if *current != "-" {
+		f, err := os.Open(*current)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(got) == 0 {
+		log.Fatalf("no %s benchmark results in input; did the bench run emit the metric?", metricName)
+	}
+
+	if *update != "" {
+		writeBaseline(*update, got, *reset)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatalf("read baseline: %v (generate one with -update)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+	allowed := base.MaxRegress
+	if *maxRegress > 0 {
+		allowed = *maxRegress
+	}
+	if allowed <= 0 {
+		allowed = 0.25
+	}
+
+	fail := gate(base, got, allowed, *absolute)
+	if fail {
+		log.Printf("benchmark regression gate FAILED (allowed slowdown: %.0f%%)", allowed*100)
+		log.Printf("if this slowdown is intentional, refresh the baseline: %s", base.Refresh)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), allowed*100)
+}
+
+// gate prints a verdict per benchmark and reports whether any regressed.
+func gate(base Baseline, got map[string]float64, allowed float64, absolute bool) bool {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	scale := 1.0
+	if !absolute {
+		scale = hardwareScale(base.Benchmarks, got)
+		fmt.Printf("benchgate: hardware scale (median current/baseline ratio): %.3f\n", scale)
+	}
+	fail := false
+	maxScale := base.MaxScale
+	if maxScale <= 0 {
+		maxScale = 2.5
+	}
+	if scale > maxScale {
+		log.Printf("WHOLE-SUITE SLOWDOWN: median ratio %.2f exceeds max_scale %.2f — "+
+			"either a global regression or slower CI hardware (refresh the baseline if the latter)",
+			scale, maxScale)
+		fail = true
+	}
+
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		cur, ok := got[name]
+		if !ok {
+			// A vanished benchmark means the gate silently narrows; treat
+			// it as a failure so renames update the baseline consciously.
+			log.Printf("MISSING  %-45s baseline %.3f %s, no current result", name, want, metricName)
+			fail = true
+			continue
+		}
+		ratio := cur / want / scale
+		verdict := "ok      "
+		switch {
+		case ratio > 1+allowed:
+			verdict = "REGRESS "
+			fail = true
+		case ratio < 0.8:
+			verdict = "faster  "
+		}
+		fmt.Printf("benchgate: %s%-45s %8.3f -> %8.3f %s (%+.1f%% normalized)\n",
+			verdict, name, want, cur, metricName, (ratio-1)*100)
+	}
+	for name := range got {
+		if _, ok := base.Benchmarks[name]; !ok {
+			log.Printf("note: %s not in baseline (add it via -update)", name)
+		}
+	}
+	return fail
+}
+
+// hardwareScale is the median current/baseline ratio over the
+// benchmarks present on both sides — the best single estimate of "this
+// machine vs the baseline machine". With fewer than 3 common benchmarks
+// the median is too easy for one real regression to drag, so
+// normalization is disabled (scale 1).
+func hardwareScale(baseline, got map[string]float64) float64 {
+	var ratios []float64
+	for name, want := range baseline {
+		if cur, ok := got[name]; ok && want > 0 {
+			ratios = append(ratios, cur/want)
+		}
+	}
+	if len(ratios) < 3 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid]
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2
+}
+
+// parseBench extracts the ns/instr metric per normalized benchmark name
+// from a `go test -json` stream or raw bench text. test2json splits a
+// benchmark's name and its timing into separate output events (the name
+// is printed before the run, without a newline), so output fragments are
+// reassembled into full text lines before parsing.
+func parseBench(f io.Reader) (map[string]float64, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("bad -json event: %w", err)
+			}
+			if ev.Action == "output" {
+				text.WriteString(ev.Output)
+			}
+			continue
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		name, val, ok := parseLine(strings.TrimSpace(line))
+		if ok {
+			if prev, seen := out[name]; !seen || val < prev {
+				out[name] = val
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseLine pulls (normalized name, ns/instr) out of one bench line.
+func parseLine(line string) (string, float64, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return "", 0, false
+	}
+	fields := strings.Fields(m[2])
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == metricName {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return cpuSuffix.ReplaceAllString(m[1], ""), v, true
+		}
+	}
+	return "", 0, false
+}
+
+// writeBaseline refreshes the baseline file. By default it WIDENS: per
+// benchmark, the larger of the existing and the new value wins, so
+// running the refresh a few times folds in every performance mode the
+// machine exhibits (some benchmarks are bimodal across process
+// invocations — alignment, ASLR — and gating against the fast mode
+// alone would flake). Benchmarks absent from the new run are dropped
+// (renames must not linger as MISSING failures). reset discards the old
+// values entirely — the right move after an intentional speedup, so the
+// gate re-tightens around the new performance. Threshold fields always
+// survive a rewrite.
+func writeBaseline(path string, got map[string]float64, reset bool) {
+	base := Baseline{
+		Metric:     metricName,
+		MaxRegress: 0.25,
+		MaxScale:   2.5,
+		Refresh: "go test -run '^$' -bench 'BenchmarkTaintedRun/|BenchmarkUntaintedRun/' " +
+			"-benchtime 10x -count 5 -json . | go run ./cmd/benchgate -update BENCH_baseline.json",
+		Benchmarks: got,
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		var prev Baseline
+		if json.Unmarshal(raw, &prev) == nil {
+			// Tuned thresholds are policy and survive; the refresh string
+			// is documentation of the CURRENT recipe and is always
+			// restamped, so a stale command can never propagate.
+			if prev.MaxRegress > 0 {
+				base.MaxRegress = prev.MaxRegress
+			}
+			if prev.MaxScale > 0 {
+				base.MaxScale = prev.MaxScale
+			}
+			if !reset {
+				for name, v := range prev.Benchmarks {
+					if cur, ok := base.Benchmarks[name]; ok && v > cur {
+						base.Benchmarks[name] = v
+					}
+				}
+			}
+		}
+	}
+	raw, err := json.MarshalIndent(&base, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	log.Printf("wrote %s with %d benchmarks: %s", path, len(names), strings.Join(names, ", "))
+}

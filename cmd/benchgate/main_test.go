@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// The -json stream splits a benchmark's name and timing into separate
+// output events; the parser must reassemble them, normalize the CPU
+// suffix, and keep the minimum across -count repetitions.
+const jsonStream = `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTaintedRun/quickstart/fast\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTaintedRun/quickstart/fast-8         \t"}
+{"Action":"output","Package":"repro","Output":"       5\t   5143522 ns/op\t        27.07 ns/instr\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkTaintedRun/quickstart/fast-8         \t"}
+{"Action":"output","Package":"repro","Output":"       5\t   4000000 ns/op\t        21.50 ns/instr\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkUntaintedRun/milc/fast-8             \t"}
+{"Action":"output","Package":"repro","Output":"       5\t  15935711 ns/op\t       124.5 ns/instr\n"}
+{"Action":"output","Package":"repro","Output":"ok  \trepro\t0.8s\n"}
+`
+
+func TestParseBenchReassemblesJSONStream(t *testing.T) {
+	got, err := parseBench(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkTaintedRun/quickstart/fast": 21.50, // min of 27.07 and 21.50
+		"BenchmarkUntaintedRun/milc/fast":     124.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %g, want %g", name, got[name], v)
+		}
+	}
+}
+
+func TestParseBenchRawText(t *testing.T) {
+	raw := "BenchmarkTaintedRun/milc/fast-4   \t       3\t  16148205 ns/op\t       126.2 ns/instr\n" +
+		"BenchmarkNoMetric-4\t 10\t 123 ns/op\n"
+	got, err := parseBench(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkTaintedRun/milc/fast"] != 126.2 {
+		t.Fatalf("parsed %v, want only milc/fast at 126.2", got)
+	}
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchmarkA": 100,
+		"BenchmarkB": 100,
+		"BenchmarkC": 100,
+	}}
+	cases := []struct {
+		name     string
+		got      map[string]float64
+		absolute bool
+		fail     bool
+	}{
+		{"within-band", map[string]float64{"BenchmarkA": 120, "BenchmarkB": 90, "BenchmarkC": 100}, false, false},
+		{"regression", map[string]float64{"BenchmarkA": 130, "BenchmarkB": 100, "BenchmarkC": 100}, false, true},
+		{"missing-benchmark", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100}, false, true},
+		{"extra-benchmark-ok", map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkC": 100, "BenchmarkD": 500}, false, false},
+		// A uniform 1.6x shift is hardware, not a regression — the
+		// median ratio normalizes it away...
+		{"hardware-shift", map[string]float64{"BenchmarkA": 160, "BenchmarkB": 160, "BenchmarkC": 160}, false, false},
+		// ...unless normalization is off (same-machine strict mode)...
+		{"hardware-shift-absolute", map[string]float64{"BenchmarkA": 160, "BenchmarkB": 160, "BenchmarkC": 160}, true, true},
+		// ...or the shift exceeds max_scale (whole-suite slowdown).
+		{"global-slowdown", map[string]float64{"BenchmarkA": 300, "BenchmarkB": 300, "BenchmarkC": 300}, false, true},
+		// A targeted regression on shifted hardware still trips.
+		{"regression-on-shifted-hw", map[string]float64{"BenchmarkA": 250, "BenchmarkB": 160, "BenchmarkC": 160}, false, true},
+	}
+	for _, tc := range cases {
+		if got := gate(base, tc.got, 0.25, tc.absolute); got != tc.fail {
+			t.Errorf("%s: gate fail = %v, want %v", tc.name, got, tc.fail)
+		}
+	}
+}
+
+func TestWriteBaselineWidensAndResets(t *testing.T) {
+	path := t.TempDir() + "/base.json"
+	read := func() Baseline {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b Baseline
+		if err := json.Unmarshal(raw, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	writeBaseline(path, map[string]float64{"BenchmarkA": 100, "BenchmarkB": 50, "BenchmarkGone": 7}, false)
+	// Widen: slower BenchmarkA wins, faster BenchmarkB keeps the old
+	// (wider) value, vanished benchmarks drop, new ones appear.
+	writeBaseline(path, map[string]float64{"BenchmarkA": 130, "BenchmarkB": 40, "BenchmarkNew": 9}, false)
+	b := read()
+	want := map[string]float64{"BenchmarkA": 130, "BenchmarkB": 50, "BenchmarkNew": 9}
+	if len(b.Benchmarks) != len(want) {
+		t.Fatalf("widened baseline = %v, want %v", b.Benchmarks, want)
+	}
+	for k, v := range want {
+		if b.Benchmarks[k] != v {
+			t.Errorf("widened %s = %g, want %g", k, b.Benchmarks[k], v)
+		}
+	}
+	// Thresholds survive; reset discards old values but not thresholds.
+	tuned := b
+	tuned.MaxRegress = 0.15
+	raw, _ := json.Marshal(&tuned)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeBaseline(path, map[string]float64{"BenchmarkA": 90}, true)
+	b = read()
+	if len(b.Benchmarks) != 1 || b.Benchmarks["BenchmarkA"] != 90 {
+		t.Fatalf("reset baseline = %v, want only BenchmarkA=90", b.Benchmarks)
+	}
+	if b.MaxRegress != 0.15 {
+		t.Fatalf("reset lost tuned max_regress: %g", b.MaxRegress)
+	}
+}
+
+func TestHardwareScale(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 100, "C": 100, "D": 100}
+	if s := hardwareScale(base, map[string]float64{"A": 150, "B": 150, "C": 150, "D": 150}); s != 1.5 {
+		t.Errorf("uniform shift scale = %g, want 1.5", s)
+	}
+	// One outlier must not drag the median.
+	if s := hardwareScale(base, map[string]float64{"A": 100, "B": 100, "C": 100, "D": 900}); s != 1.0 {
+		t.Errorf("outlier-resistant scale = %g, want 1.0", s)
+	}
+	// Too few common benchmarks: normalization off.
+	if s := hardwareScale(map[string]float64{"A": 100}, map[string]float64{"A": 150}); s != 1.0 {
+		t.Errorf("tiny-suite scale = %g, want 1.0", s)
+	}
+}

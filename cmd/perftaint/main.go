@@ -1,36 +1,79 @@
 // Command perftaint runs the taint-analysis pipeline on a bundled
 // application and emits a JSON report: per-function parameter dependencies,
 // symbolic volumes, the pruning census, and the instrumentation filter.
+//
+// Besides the local single-process mode (the default), it fronts the
+// analysis daemon:
+//
+//	perftaint -app lulesh                          # local analysis
+//	perftaint serve -addr :7070                    # run the daemon in-process
+//	perftaint submit -addr http://host:7070 -app lulesh -config p=16
+//	perftaint submit -addr ... -app lulesh -sweep 'p=2,4,8;size=4,5'
+//	perftaint submit -addr ... -app milc -async    # prints a queued job
+//	perftaint job -addr ... -id job-1 -wait        # poll it to completion
+//	perftaint stats -addr http://host:7070
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
+// jsonReport is the daemon's wire projection plus the CLI-only tainted
+// selection dump — one projection (service.NewAnalysisResult) feeds both
+// surfaces, so the golden snapshots gate them together.
 type jsonReport struct {
-	App          string              `json:"app"`
-	Census       core.Census         `json:"census"`
-	FuncDeps     map[string][]string `json:"function_dependencies"`
-	Volumes      map[string]string   `json:"volumes"`
-	Relevant     []string            `json:"instrumentation_filter"`
-	Selections   []string            `json:"tainted_selections"`
-	Recursion    []string            `json:"recursion_warnings"`
-	Instructions int64               `json:"tainted_run_instructions"`
+	service.AnalysisResult
+	Selections []string `json:"tainted_selections"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("perftaint: ")
-	app := flag.String("app", "lulesh", "application to analyze: lulesh or milc")
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "submit":
+			runSubmit(os.Args[2:])
+			return
+		case "stats":
+			runStats(os.Args[2:])
+			return
+		case "job":
+			runJob(os.Args[2:])
+			return
+		default:
+			// Anything that isn't a flag is a mistyped subcommand; falling
+			// through to a multi-second local analysis would bury the typo.
+			if !strings.HasPrefix(os.Args[1], "-") {
+				log.Fatalf("unknown subcommand %q (want serve, submit, job, or stats; "+
+					"flags alone run a local analysis)", os.Args[1])
+			}
+		}
+	}
+	runLocal(os.Args[1:])
+}
+
+// runLocal is the original single-process mode.
+func runLocal(args []string) {
+	fs := flag.NewFlagSet("perftaint", flag.ExitOnError)
+	app := fs.String("app", "lulesh", "application to analyze: lulesh or milc")
+	fs.Parse(args)
 
 	var spec *apps.Spec
 	var cfg apps.Config
@@ -49,21 +92,8 @@ func main() {
 	}
 
 	out := jsonReport{
-		App:          *app,
-		Census:       rep.Census([]string{"p", "size"}),
-		FuncDeps:     rep.FuncDeps,
-		Volumes:      make(map[string]string),
-		Recursion:    rep.Volumes.RecursionWarnings,
-		Instructions: rep.Instructions,
-	}
-	for fn := range rep.Relevant {
-		out.Relevant = append(out.Relevant, fn)
-	}
-	sort.Strings(out.Relevant)
-	for fn, deps := range rep.FuncDeps {
-		if len(deps) > 0 {
-			out.Volumes[fn] = rep.Volumes.ByFunc[fn].String()
-		}
+		AnalysisResult: *service.NewAnalysisResult(*app, core.SpecDigest(spec), rep,
+			service.DefaultCensusParams()),
 	}
 	for _, sel := range rep.Engine.TaintedSelections() {
 		out.Selections = append(out.Selections,
@@ -71,9 +101,199 @@ func main() {
 				rep.Engine.Table.ExpandString(sel.Labels)))
 	}
 
+	emitJSON(out)
+}
+
+// runServe hosts the analysis daemon in-process (same engine as
+// cmd/perftaintd, handy for one-binary deployments).
+func runServe(args []string) {
+	fs := flag.NewFlagSet("perftaint serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	workers := fs.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
+	cacheEntries := fs.Int("cache-entries", 16, "PreparedCache capacity")
+	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "default per-job deadline")
+	queueDepth := fs.Int("queue-depth", 1024, "maximum queued jobs")
+	fs.Parse(args)
+
+	srv := service.NewServer(service.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		JobTimeout:   *jobTimeout,
+		QueueDepth:   *queueDepth,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ready := make(chan string, 1)
+	go func() { log.Printf("serving on %s", <-ready) }()
+	if err := srv.ListenAndServe(ctx, *addr, ready); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}
+
+// runSubmit sends one analysis or a sweep to a running daemon.
+func runSubmit(args []string) {
+	fs := flag.NewFlagSet("perftaint submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	app := fs.String("app", "lulesh", "registered application name")
+	cfgFlag := fs.String("config", "", "config overrides, e.g. 'p=16,size=5' (empty = app taint config)")
+	sweepFlag := fs.String("sweep", "", "sweep axes, e.g. 'p=2,4,8;size=4,5' (switches to /v1/sweep)")
+	async := fs.Bool("async", false, "submit without waiting; prints the queued job")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-job deadline sent to the daemon")
+	fs.Parse(args)
+
+	client := service.NewClient(*addr)
+	ctx := context.Background()
+
+	if *sweepFlag != "" {
+		if *async {
+			log.Fatal("-async applies to single submissions only; sweeps always stream")
+		}
+		axes, err := parseAxes(*sweepFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defaults, err := parseConfig(*cfgFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		failed := 0
+		err = client.Sweep(ctx, service.SweepRequest{
+			App:       *app,
+			Defaults:  defaults,
+			Axes:      axes,
+			TimeoutMS: timeout.Milliseconds(),
+		}, func(line service.SweepLine) error {
+			if line.Error != "" {
+				failed++
+			}
+			return enc.Encode(&line)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if failed > 0 {
+			log.Fatalf("%d sweep configuration(s) failed", failed)
+		}
+		return
+	}
+
+	overrides, err := parseConfig(*cfgFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := client.Analyze(ctx, service.AnalyzeRequest{
+		App:       *app,
+		Config:    overrides,
+		Async:     *async,
+		TimeoutMS: timeout.Milliseconds(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitJSON(job)
+	if !*async && job.Status != service.StatusDone {
+		os.Exit(1)
+	}
+}
+
+// runJob fetches (or waits out) a job submitted with -async.
+func runJob(args []string) {
+	fs := flag.NewFlagSet("perftaint job", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	id := fs.String("id", "", "job id, e.g. job-1")
+	wait := fs.Bool("wait", false, "poll until the job reaches a terminal status")
+	waitFor := fs.Duration("wait-timeout", 5*time.Minute, "give up polling after this long")
+	fs.Parse(args)
+	if *id == "" {
+		log.Fatal("job requires -id (as printed by submit -async)")
+	}
+	client := service.NewClient(*addr)
+	ctx := context.Background()
+	var (
+		info *service.JobInfo
+		err  error
+	)
+	if *wait {
+		wctx, cancel := context.WithTimeout(ctx, *waitFor)
+		defer cancel()
+		info, err = client.WaitJob(wctx, *id, 100*time.Millisecond)
+	} else {
+		info, err = client.Job(ctx, *id)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitJSON(info)
+	if *wait && info.Status != service.StatusDone {
+		os.Exit(1)
+	}
+}
+
+// runStats prints the daemon's cache and scheduler counters.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("perftaint stats", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	fs.Parse(args)
+	st, err := service.NewClient(*addr).Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitJSON(st)
+}
+
+// parseConfig reads "k=v,k=v" into overrides.
+func parseConfig(s string) (apps.Config, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(apps.Config)
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad config entry %q (want name=value)", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad config value %q: %v", kv, err)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+// parseAxes reads "p=2,4,8;size=4,5" into sweep axes.
+func parseAxes(s string) ([]service.SweepAxis, error) {
+	var out []service.SweepAxis
+	for _, part := range strings.Split(s, ";") {
+		name, vals, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad axis %q (want name=v1,v2,...)", part)
+		}
+		ax := service.SweepAxis{Param: name}
+		for _, v := range strings.Split(vals, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad axis value %q: %v", v, err)
+			}
+			ax.Values = append(ax.Values, f)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("axis %q has no values", name)
+		}
+		out = append(out, ax)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep specification")
+	}
+	return out, nil
+}
+
+func emitJSON(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(v); err != nil {
 		log.Fatal(err)
 	}
 }

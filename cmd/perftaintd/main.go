@@ -1,0 +1,49 @@
+// Command perftaintd is the Perf-Taint analysis daemon: a long-running
+// HTTP service that prepares each application spec once (content-addressed
+// PreparedCache) and fans analysis jobs out over a bounded worker pool.
+//
+//	perftaintd -addr :7070 -workers 8 -cache-entries 16
+//
+// Endpoints: POST /v1/analyze, POST /v1/sweep (NDJSON stream),
+// GET /v1/jobs/{id}, GET /v1/stats, GET /healthz. See internal/service
+// for the wire schema and `perftaint submit` for a ready-made client.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("perftaintd: ")
+	addr := flag.String("addr", ":7070", "listen address")
+	workers := flag.Int("workers", 0, "concurrent analysis jobs (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 16, "PreparedCache capacity (distinct spec contents)")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
+	queueDepth := flag.Int("queue-depth", 1024, "maximum queued jobs")
+	flag.Parse()
+
+	srv := service.NewServer(service.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		QueueDepth:   *queueDepth,
+		JobTimeout:   *jobTimeout,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ready := make(chan string, 1)
+	go func() { log.Printf("listening on %s", <-ready) }()
+	if err := srv.ListenAndServe(ctx, *addr, ready); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
+}

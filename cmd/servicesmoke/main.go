@@ -1,0 +1,194 @@
+// Command servicesmoke is the CI end-to-end check for the analysis
+// daemon: it launches a real perftaintd process, submits the LULESH
+// taint configuration through the HTTP client twice, verifies the
+// returned census and dependencies against the golden snapshot under
+// internal/core/testdata, and asserts that the second submission was
+// served from the PreparedCache (hits > 0 in /v1/stats). It exits
+// non-zero with a diagnostic on any mismatch.
+//
+//	go build -o bin/perftaintd ./cmd/perftaintd
+//	go run ./cmd/servicesmoke -daemon bin/perftaintd
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"reflect"
+	"regexp"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// goldenSnapshot mirrors the schema of internal/core/testdata/*.json.
+type goldenSnapshot struct {
+	Census       core.Census         `json:"census"`
+	FuncDeps     map[string][]string `json:"func_deps"`
+	Instructions int64               `json:"instructions"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servicesmoke: ")
+	daemon := flag.String("daemon", "", "path to the perftaintd binary (empty = in-process server)")
+	golden := flag.String("golden", "internal/core/testdata/lulesh_golden.json", "golden snapshot to compare against")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall smoke deadline")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *daemon, *golden); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("servicesmoke: OK — golden census served, PreparedCache hit on resubmission")
+}
+
+func run(ctx context.Context, daemon, goldenPath string) error {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		return fmt.Errorf("read golden snapshot: %w", err)
+	}
+	var want goldenSnapshot
+	if err := json.Unmarshal(raw, &want); err != nil {
+		return fmt.Errorf("parse golden snapshot: %w", err)
+	}
+
+	base, stop, err := startDaemon(ctx, daemon)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	client := service.NewClient(base)
+	if err := waitHealthy(ctx, client); err != nil {
+		return err
+	}
+
+	// Submit the LULESH taint config twice: identical results, and the
+	// second submission must be a cache hit.
+	var jobs [2]*service.JobInfo
+	for i := range jobs {
+		job, err := client.Analyze(ctx, service.AnalyzeRequest{App: "lulesh"})
+		if err != nil {
+			return fmt.Errorf("analyze #%d: %w", i+1, err)
+		}
+		if job.Status != service.StatusDone || job.Result == nil {
+			return fmt.Errorf("analyze #%d: job %s finished %q (error: %s)", i+1, job.ID, job.Status, job.Error)
+		}
+		jobs[i] = job
+	}
+
+	for i, job := range jobs {
+		res := job.Result
+		if res.Census != want.Census {
+			return fmt.Errorf("submission %d: census drifted from %s:\n got: %+v\nwant: %+v",
+				i+1, goldenPath, res.Census, want.Census)
+		}
+		if res.Instructions != want.Instructions {
+			return fmt.Errorf("submission %d: instructions = %d, golden says %d",
+				i+1, res.Instructions, want.Instructions)
+		}
+		if !reflect.DeepEqual(res.FuncDeps, want.FuncDeps) {
+			return fmt.Errorf("submission %d: function dependencies drifted from golden snapshot", i+1)
+		}
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Cache.Misses != 1 {
+		return fmt.Errorf("cache misses = %d, want exactly 1 (one spec, one build)", st.Cache.Misses)
+	}
+	if st.Cache.Hits < 1 {
+		return fmt.Errorf("cache hits = %d, want >= 1 — the second submission did not reuse the Prepared", st.Cache.Hits)
+	}
+	if st.Jobs.Completed < 2 {
+		return fmt.Errorf("completed jobs = %d, want >= 2", st.Jobs.Completed)
+	}
+	fmt.Printf("servicesmoke: stats: %d hit(s), %d miss(es), %d completed job(s)\n",
+		st.Cache.Hits, st.Cache.Misses, st.Jobs.Completed)
+	return nil
+}
+
+// startDaemon launches the perftaintd binary (or an in-process server
+// when path is empty) on an OS-assigned port and returns the base URL.
+// Both paths bind ":0" and learn the real port from the daemon itself —
+// picking a free port up front and rebinding it would race other
+// processes on a busy CI runner.
+func startDaemon(ctx context.Context, path string) (string, func(), error) {
+	if path == "" {
+		srv := service.NewServer(service.Options{})
+		ready := make(chan string, 1)
+		sctx, cancel := context.WithCancel(ctx)
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe(sctx, "127.0.0.1:0", ready) }()
+		boundAddr := <-ready
+		return "http://" + boundAddr, func() { cancel(); <-done }, nil
+	}
+	cmd := exec.CommandContext(ctx, path, "-addr", "127.0.0.1:0")
+	cmd.Stdout = os.Stderr
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("start daemon %s: %w", path, err)
+	}
+	// The daemon announces "listening on 127.0.0.1:<port>" once bound;
+	// scan its stderr for that line (and keep relaying the rest).
+	addrc := make(chan string, 1)
+	go func() {
+		re := regexp.MustCompile(`listening on (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, line)
+			if !announced {
+				if m := re.FindStringSubmatch(line); m != nil {
+					announced = true
+					addrc <- m[1]
+				}
+			}
+		}
+		close(addrc)
+	}()
+	stop := func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		_ = cmd.Wait()
+	}
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			stop()
+			return "", nil, fmt.Errorf("daemon exited before announcing its address")
+		}
+		return "http://" + addr, stop, nil
+	case <-ctx.Done():
+		stop()
+		return "", nil, fmt.Errorf("daemon never announced its address: %w", ctx.Err())
+	}
+}
+
+func waitHealthy(ctx context.Context, client *service.Client) error {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if err := client.Health(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("daemon never became healthy: %w", ctx.Err())
+		case <-t.C:
+		}
+	}
+}

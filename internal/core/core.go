@@ -27,6 +27,11 @@ type Prepared struct {
 	Module *ir.Module
 	DB     *libdb.DB
 
+	// Digest is the content address of Spec (see SpecDigest): equal
+	// digests mean interchangeable Prepared values, which is what lets
+	// the service layer share one Prepared across tenants.
+	Digest string
+
 	// Static is the compile-time classification (Section 5.1), computed
 	// exactly once per spec and shared read-only by every dynamic run.
 	Static map[string]*scev.FuncClass
@@ -66,6 +71,7 @@ func PrepareModule(spec *apps.Spec, mod *ir.Module, db *libdb.DB) *Prepared {
 		Spec:    spec,
 		Module:  mod,
 		DB:      db,
+		Digest:  SpecDigest(spec),
 		Static:  scev.AnalyzeModule(mod, db.Relevant),
 		Program: interp.Predecode(mod),
 	}

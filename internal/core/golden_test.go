@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 )
 
@@ -62,34 +65,50 @@ func checkGolden(t *testing.T, name string, rep *Report) {
 	}
 	want, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("missing golden snapshot (run with -update to create): %v", err)
+		t.Fatalf("missing golden snapshot %s: %v\n%s", path, err, updateHint)
 	}
-	if !bytes.Equal(raw, want) {
-		var wantSnap goldenSnapshot
-		if err := json.Unmarshal(want, &wantSnap); err != nil {
-			t.Fatalf("corrupt golden snapshot %s: %v", path, err)
-		}
-		if got.Census != wantSnap.Census {
-			t.Errorf("census drifted from %s:\n got: %+v\nwant: %+v", path, got.Census, wantSnap.Census)
-		}
-		if got.Instructions != wantSnap.Instructions {
-			t.Errorf("tainted-run instruction count drifted: got %d, want %d", got.Instructions, wantSnap.Instructions)
-		}
-		for fn, deps := range wantSnap.FuncDeps {
-			if !equalStrings(got.FuncDeps[fn], deps) {
-				t.Errorf("FuncDeps[%q] drifted: got %v, want %v", fn, got.FuncDeps[fn], deps)
-			}
-		}
-		for fn := range got.FuncDeps {
-			if _, ok := wantSnap.FuncDeps[fn]; !ok {
-				t.Errorf("FuncDeps gained unexpected function %q = %v", fn, got.FuncDeps[fn])
-			}
-		}
-		if !t.Failed() {
-			t.Errorf("golden snapshot %s differs in formatting; re-bless with -update", path)
+	if bytes.Equal(raw, want) {
+		return
+	}
+	// Stale snapshot: summarize WHAT drifted (a handful of lines, not a
+	// raw JSON dump) and say exactly how to re-bless, so a CI failure is
+	// actionable from the log alone.
+	var wantSnap goldenSnapshot
+	if err := json.Unmarshal(want, &wantSnap); err != nil {
+		t.Fatalf("corrupt golden snapshot %s: %v\n%s", path, err, updateHint)
+	}
+	var drift []string
+	if got.Census != wantSnap.Census {
+		drift = append(drift, fmt.Sprintf("census: got %+v, snapshot %+v", got.Census, wantSnap.Census))
+	}
+	if got.Instructions != wantSnap.Instructions {
+		drift = append(drift, fmt.Sprintf("tainted-run instructions: got %d, snapshot %d",
+			got.Instructions, wantSnap.Instructions))
+	}
+	for fn, deps := range wantSnap.FuncDeps {
+		if !equalStrings(got.FuncDeps[fn], deps) {
+			drift = append(drift, fmt.Sprintf("FuncDeps[%q]: got %v, snapshot %v", fn, got.FuncDeps[fn], deps))
 		}
 	}
+	for fn := range got.FuncDeps {
+		if _, ok := wantSnap.FuncDeps[fn]; !ok {
+			drift = append(drift, fmt.Sprintf("FuncDeps[%q]: new function %v not in snapshot", fn, got.FuncDeps[fn]))
+		}
+	}
+	if len(drift) == 0 {
+		drift = append(drift, "snapshot differs only in JSON formatting")
+	}
+	sort.Strings(drift)
+	t.Fatalf("golden snapshot %s is STALE (%d drift(s)):\n  %s\n%s",
+		path, len(drift), strings.Join(drift, "\n  "), updateHint)
 }
+
+// updateHint is the re-bless recipe printed on every stale-snapshot
+// failure: golden drift should end in one command, not archaeology.
+const updateHint = `If this change is intentional, re-bless the snapshots and commit them:
+    go test ./internal/core -run Golden -update
+The smoke test (cmd/servicesmoke) and CI gate on these files, so never
+hand-edit them.`
 
 func equalStrings(a, b []string) bool {
 	if len(a) != len(b) {

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// twinSpec builds one of two structurally identical specs whose Quantity
+// power maps are populated in opposite insertion orders — the digest must
+// not observe map construction history.
+func twinSpec(reversed bool) *apps.Spec {
+	pow := func(a, b string) map[string]int {
+		m := make(map[string]int)
+		if reversed {
+			m[b] = 2
+			m[a] = 1
+		} else {
+			m[a] = 1
+			m[b] = 2
+		}
+		return m
+	}
+	bound := apps.Quantity{Coeff: 3, Pow: pow("size", "p")}
+	count := apps.Quantity{Coeff: 8, Pow: pow("size", "p")}
+	return &apps.Spec{
+		Name:    "twin",
+		Params:  []string{"size"},
+		MPIUsed: []string{"MPI_Allreduce"},
+		Funcs: []*apps.FuncSpec{
+			{Name: "main", Kind: apps.KindMain, Body: []apps.Stmt{
+				apps.Loop{Kind: apps.ParamBound, Bound: bound, Body: []apps.Stmt{
+					apps.Work{Units: 4},
+					apps.Call{Callee: "MPI_Allreduce", CountArg: &count},
+				}},
+			}},
+		},
+	}
+}
+
+func TestSpecDigestStableAcrossEquivalentSpecs(t *testing.T) {
+	a, b := twinSpec(false), twinSpec(true)
+	da, db := SpecDigest(a), SpecDigest(b)
+	if da != db {
+		t.Fatalf("equivalent specs hash differently: %s vs %s", da, db)
+	}
+	if da2 := SpecDigest(a); da2 != da {
+		t.Fatalf("digest not deterministic: %s vs %s", da, da2)
+	}
+	// Zero powers are semantically absent and must not perturb the hash.
+	c := twinSpec(false)
+	c.Funcs[0].Body[0].(apps.Loop).Bound.Pow["unused"] = 0
+	if dc := SpecDigest(c); dc != da {
+		t.Fatalf("zero power changed digest: %s vs %s", dc, da)
+	}
+}
+
+func TestSpecDigestSeparatesSpecs(t *testing.T) {
+	base := SpecDigest(twinSpec(false))
+	seen := map[string]string{base: "base"}
+	check := func(name string, mutate func(*apps.Spec)) {
+		t.Helper()
+		s := twinSpec(false)
+		mutate(s)
+		d := SpecDigest(s)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[d] = name
+	}
+	check("coeff", func(s *apps.Spec) {
+		lp := s.Funcs[0].Body[0].(apps.Loop)
+		lp.Bound.Coeff = 4
+		s.Funcs[0].Body[0] = lp
+	})
+	check("param-power", func(s *apps.Spec) {
+		s.Funcs[0].Body[0].(apps.Loop).Bound.Pow["p"] = 3
+	})
+	check("bound-kind", func(s *apps.Spec) {
+		lp := s.Funcs[0].Body[0].(apps.Loop)
+		lp.Kind = apps.RuntimeConst
+		s.Funcs[0].Body[0] = lp
+	})
+	check("params", func(s *apps.Spec) { s.Params = []string{"size", "iters"} })
+	check("work-units", func(s *apps.Spec) {
+		lp := s.Funcs[0].Body[0].(apps.Loop)
+		lp.Body[0] = apps.Work{Units: 5}
+	})
+	check("func-kind", func(s *apps.Spec) { s.Funcs[0].Kind = apps.KindKernel })
+	check("nesting", func(s *apps.Spec) {
+		// Flattening the loop must change the digest even though the
+		// flat statement list contains the same leaves.
+		lp := s.Funcs[0].Body[0].(apps.Loop)
+		s.Funcs[0].Body = append([]apps.Stmt{apps.Loop{Kind: lp.Kind, Bound: lp.Bound}}, lp.Body...)
+	})
+	if len(seen) != 8 {
+		t.Fatalf("expected 8 distinct digests, got %d", len(seen))
+	}
+}
+
+func TestSpecDigestMatchesBundledApps(t *testing.T) {
+	if SpecDigest(apps.LULESH()) == SpecDigest(apps.MILC()) {
+		t.Fatal("LULESH and MILC must not share a content address")
+	}
+	// Prepare stamps the digest it was addressed by.
+	p, err := Prepare(apps.LULESH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Digest != SpecDigest(apps.LULESH()) {
+		t.Fatalf("Prepared.Digest %q does not match SpecDigest", p.Digest)
+	}
+}

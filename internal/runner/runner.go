@@ -10,6 +10,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -65,8 +66,24 @@ func (r *Runner) AnalyzeBatch(spec *apps.Spec, cfgs []apps.Config) ([]Result, er
 // already-prepared artifacts, for callers that reuse one core.Prepared
 // across several batches.
 func (r *Runner) AnalyzeBatchPrepared(p *core.Prepared, cfgs []apps.Config) []Result {
+	return r.AnalyzeBatchPreparedCtx(context.Background(), p, cfgs)
+}
+
+// AnalyzeBatchPreparedCtx is AnalyzeBatchPrepared with cooperative
+// cancellation: once ctx is done, jobs that have not started yet are
+// skipped and their Result.Err captures ctx's error. Jobs already running
+// finish normally — the dynamic stage is fuel-bounded, so a straggler
+// cannot outlive its fuel budget — which keeps every returned Result in
+// one of exactly two states: fully analyzed or never started. The analysis
+// daemon (internal/service) routes every scheduled job through this entry
+// point so per-job deadlines and client disconnects stop queued work.
+func (r *Runner) AnalyzeBatchPreparedCtx(ctx context.Context, p *core.Prepared, cfgs []apps.Config) []Result {
 	out := make([]Result, len(cfgs))
 	Map(r.workers(), len(cfgs), func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i] = Result{Index: i, Config: cfgs[i], Err: fmt.Errorf("runner: job %d skipped: %w", i, err)}
+			return
+		}
 		rep, err := p.Analyze(cfgs[i])
 		out[i] = Result{Index: i, Config: cfgs[i], Report: rep, Err: err}
 	})

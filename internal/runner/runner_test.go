@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -278,4 +280,35 @@ func TestMapEdgeCases(t *testing.T) {
 		}
 	}
 	Map(50, 2, func(i int) {})
+}
+
+// TestAnalyzeBatchPreparedCtxCancel checks that a canceled context skips
+// not-yet-started jobs while completed jobs keep their reports, and that
+// an undisturbed context analyzes everything.
+func TestAnalyzeBatchPreparedCtxCancel(t *testing.T) {
+	p, err := core.Prepare(apps.LULESH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := luleshConfigs()
+
+	live := (&Runner{Workers: 2}).AnalyzeBatchPreparedCtx(context.Background(), p, cfgs)
+	if err := FirstErr(live); err != nil {
+		t.Fatalf("live context batch failed: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := (&Runner{Workers: 2}).AnalyzeBatchPreparedCtx(ctx, p, cfgs)
+	for i, res := range dead {
+		if res.Index != i {
+			t.Fatalf("result %d carries index %d", i, res.Index)
+		}
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("job %d: want context.Canceled, got %v", i, res.Err)
+		}
+		if res.Report != nil {
+			t.Fatalf("job %d: skipped job must not carry a report", i)
+		}
+	}
 }

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// App is one analyzable application registered with the daemon: a spec
+// constructor plus the default (taint-run) configuration that request
+// configs are overlaid on.
+type App struct {
+	New         func() *apps.Spec
+	TaintConfig func() apps.Config
+}
+
+// BundledApps returns the registry the daemon serves out of the box: the
+// paper's two evaluation applications keyed by the names the HTTP API
+// accepts in the "app" field.
+func BundledApps() map[string]App {
+	return map[string]App{
+		"lulesh": {New: apps.LULESH, TaintConfig: apps.LULESHTaintConfig},
+		"milc":   {New: apps.MILC, TaintConfig: apps.MILCTaintConfig},
+	}
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze: one configuration of a
+// registered application. Config entries overlay the app's default taint
+// configuration, so an empty config analyzes the paper's taint run and
+// {"p": 16} changes only the rank count.
+type AnalyzeRequest struct {
+	App    string      `json:"app"`
+	Config apps.Config `json:"config,omitempty"`
+	// CensusParams selects the loop-relevance column of the census;
+	// defaults to the paper's model parameters {p, size}.
+	CensusParams []string `json:"census_params,omitempty"`
+	// Async, when true, returns the queued job immediately; poll it via
+	// GET /v1/jobs/{id}. The default waits for the result inline.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS bounds how long the job may wait to START: a job still
+	// queued past it is canceled, never run. Once started, a job always
+	// finishes — runs are bounded by interpreter fuel, not wall clock.
+	// 0 uses the server default; larger values clamp to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepAxis is one swept parameter: mirrors runner.Axis on the wire.
+type SweepAxis struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a full-factorial design
+// over a registered application. The response streams one NDJSON
+// SweepLine per configuration in deterministic design order (last axis
+// varying fastest), so arbitrarily large designs never buffer
+// server-side.
+type SweepRequest struct {
+	App          string      `json:"app"`
+	Defaults     apps.Config `json:"defaults,omitempty"`
+	Axes         []SweepAxis `json:"axes"`
+	CensusParams []string    `json:"census_params,omitempty"`
+	// TimeoutMS optionally gives each configuration job a start-TTL
+	// from submission (clamped to the server default). 0 — the default —
+	// means sweep jobs live as long as the streaming request itself, so
+	// the tail of a large design is not doomed by its siblings' runtime.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepLine is one NDJSON record of a sweep response.
+type SweepLine struct {
+	Index  int             `json:"index"`
+	JobID  string          `json:"job_id"`
+	Config apps.Config     `json:"config"`
+	Result *AnalysisResult `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// Job lifecycle states reported by the API.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// JobInfo is the wire view of one scheduled analysis job.
+type JobInfo struct {
+	ID         string      `json:"id"`
+	App        string      `json:"app"`
+	Status     string      `json:"status"`
+	Config     apps.Config `json:"config"`
+	SpecDigest string      `json:"spec_digest"`
+	Submitted  time.Time   `json:"submitted"`
+	Started    time.Time   `json:"started,omitzero"`
+	Finished   time.Time   `json:"finished,omitzero"`
+	// DurationMS is the run time of a finished job (excluding queueing).
+	DurationMS int64           `json:"duration_ms,omitempty"`
+	Result     *AnalysisResult `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// AnalysisResult is the paper-facing projection of a core.Report that
+// travels over the wire: the Table 2 census, per-function parameter
+// dependencies and symbolic volumes, the instrumentation filter, and the
+// dynamic cost of the tainted run. It mirrors the perftaint CLI's JSON
+// report so the golden snapshots under internal/core/testdata gate the
+// service responses too.
+type AnalysisResult struct {
+	App          string              `json:"app"`
+	SpecDigest   string              `json:"spec_digest"`
+	Census       core.Census         `json:"census"`
+	FuncDeps     map[string][]string `json:"function_dependencies"`
+	Volumes      map[string]string   `json:"volumes"`
+	Relevant     []string            `json:"instrumentation_filter"`
+	Recursion    []string            `json:"recursion_warnings,omitempty"`
+	Instructions int64               `json:"tainted_run_instructions"`
+}
+
+// NewAnalysisResult projects a report into its wire form.
+func NewAnalysisResult(app, digest string, rep *core.Report, censusParams []string) *AnalysisResult {
+	out := &AnalysisResult{
+		App:          app,
+		SpecDigest:   digest,
+		Census:       rep.Census(censusParams),
+		FuncDeps:     rep.FuncDeps,
+		Volumes:      make(map[string]string),
+		Recursion:    rep.Volumes.RecursionWarnings,
+		Instructions: rep.Instructions,
+	}
+	if out.FuncDeps == nil {
+		out.FuncDeps = map[string][]string{}
+	}
+	for fn := range rep.Relevant {
+		out.Relevant = append(out.Relevant, fn)
+	}
+	sort.Strings(out.Relevant)
+	for fn, deps := range rep.FuncDeps {
+		if len(deps) > 0 {
+			out.Volumes[fn] = rep.Volumes.ByFunc[fn].String()
+		}
+	}
+	return out
+}
+
+// JobStats aggregates scheduler counters for /v1/stats.
+type JobStats struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS int64      `json:"uptime_ms"`
+	Workers  int        `json:"workers"`
+	Apps     []string   `json:"apps"`
+	Cache    CacheStats `json:"cache"`
+	Jobs     JobStats   `json:"jobs"`
+}
+
+// DefaultCensusParams is the census column used when a request does not
+// name its model parameters: the paper's {p, size}.
+func DefaultCensusParams() []string { return []string{"p", "size"} }
+
+// mergedConfig overlays overrides on the app's default taint config.
+func mergedConfig(app App, overrides apps.Config) apps.Config {
+	cfg := app.TaintConfig().Clone()
+	for k, v := range overrides {
+		cfg[k] = v
+	}
+	return cfg
+}
+
+// validateConfig rejects configurations the pipeline would choke on with
+// a client-attributable error instead of a mid-job failure.
+func validateConfig(spec *apps.Spec, cfg apps.Config) error {
+	// The pipeline truncates p to an integer rank count, so anything
+	// below 1 (including fractional values in (0,1)) would fail mid-job
+	// with a misleading "missing p" — reject it here instead.
+	if cfg["p"] < 1 {
+		return fmt.Errorf("config requires the implicit MPI parameter p >= 1")
+	}
+	for _, prm := range spec.Params {
+		if _, ok := cfg[prm]; !ok {
+			return fmt.Errorf("config missing spec parameter %q", prm)
+		}
+	}
+	return nil
+}
+
+// knownParam reports whether name is a spec parameter or the implicit p.
+func knownParam(spec *apps.Spec, name string) bool {
+	if name == "p" {
+		return true
+	}
+	for _, prm := range spec.Params {
+		if prm == name {
+			return true
+		}
+	}
+	return false
+}
+
+// validateParamNames rejects override/axis names the analysis would
+// silently ignore — a typo'd parameter must fail loudly, not return a
+// plausible result that never varied anything.
+func validateParamNames(spec *apps.Spec, names []string) error {
+	for _, name := range names {
+		if !knownParam(spec, name) {
+			return fmt.Errorf("unknown parameter %q (spec has %v plus the implicit p)",
+				name, spec.Params)
+		}
+	}
+	return nil
+}
+
+func configKeys(cfg apps.Config) []string {
+	out := make([]string, 0, len(cfg))
+	for k := range cfg {
+		out = append(out, k)
+	}
+	return out
+}

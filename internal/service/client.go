@@ -1,0 +1,190 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a perftaintd daemon over its JSON HTTP API. The zero
+// HTTP client is http.DefaultClient; sweeps stream, so no response is
+// ever buffered wholesale.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the server's {"error": ...} envelope.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error != "" {
+		return fmt.Errorf("service: %s: %s", resp.Status, env.Error)
+	}
+	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service: encode request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("service: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("service: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Stats fetches the daemon counters.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Analyze submits one configuration and returns the finished job (the
+// server runs it inline unless req.Async is set, in which case the
+// returned job is still queued — poll it with Job or WaitJob).
+func (c *Client) Analyze(ctx context.Context, req AnalyzeRequest) (*JobInfo, error) {
+	var out JobInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/analyze", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches a job by id.
+func (c *Client) Job(ctx context.Context, id string) (*JobInfo, error) {
+	var out JobInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it reaches a terminal status or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobInfo, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch info.Status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Sweep submits a full-factorial design and invokes emit for every
+// NDJSON result line in design order as the server streams them. A
+// non-nil error from emit aborts the stream and is returned.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLine) error) error {
+	raw, err := json.Marshal(&req)
+	if err != nil {
+		return fmt.Errorf("service: encode sweep: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweep", bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("service: build sweep request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("service: POST /v1/sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec SweepLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("service: decode sweep line: %w", err)
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: sweep stream: %w", err)
+	}
+	return nil
+}
+
+// SweepAll collects a sweep into a slice; convenient for small designs.
+func (c *Client) SweepAll(ctx context.Context, req SweepRequest) ([]SweepLine, error) {
+	var out []SweepLine
+	err := c.Sweep(ctx, req, func(l SweepLine) error {
+		out = append(out, l)
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,354 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// maxRetainedJobs bounds the finished-job history kept for
+// GET /v1/jobs/{id}; the oldest finished jobs are forgotten first.
+// Queued and running jobs are never evicted.
+const maxRetainedJobs = 4096
+
+// job is one scheduled analysis: a single configuration of a prepared
+// spec, with its own lifecycle record. ctx carries everything that can
+// stop the job before it starts — client disconnect, daemon shutdown,
+// and (when the job has a start deadline) queue-TTL expiry; a per-job
+// watcher goroutine turns ctx expiry into a prompt terminal transition
+// even while the job sits in the queue. Once a worker claims a job it
+// always runs to completion: the dynamic stage is fuel-bounded, so
+// wall-clock deadlines on the run itself would be unenforceable theater.
+type job struct {
+	id           string
+	app          string
+	cfg          apps.Config
+	censusParams []string
+	prepared     *core.Prepared
+	digest       string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done closes when the job reaches a terminal status.
+	done chan struct{}
+
+	mu        sync.Mutex
+	status    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    *AnalysisResult
+	errMsg    string
+}
+
+// Info snapshots the job for the wire.
+func (j *job) Info() *JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := &JobInfo{
+		ID:         j.id,
+		App:        j.app,
+		Status:     j.status,
+		Config:     j.cfg,
+		SpecDigest: j.digest,
+		Submitted:  j.submitted,
+		Started:    j.started,
+		Finished:   j.finished,
+		Result:     j.result,
+		Error:      j.errMsg,
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		info.DurationMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	return info
+}
+
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// claimRun transitions queued → running, refusing jobs already finished
+// (by the TTL watcher, a disconnect, or shutdown) or whose context is
+// spent. Exactly one of claimRun / tryTerminal wins any race: both
+// transitions are serialized by j.mu.
+func (j *job) claimRun() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued || j.ctx.Err() != nil {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	return true
+}
+
+// tryTerminal moves the job to a terminal status exactly once; later
+// attempts are no-ops. The running state can only be finished by the
+// worker that claimed it (the watcher's cancel attempt is refused).
+func (j *job) tryTerminal(fromRunning bool, status string, result *AnalysisResult, err error) bool {
+	j.mu.Lock()
+	if terminal(j.status) || (j.status == StatusRunning && !fromRunning) {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = status
+	j.finished = time.Now()
+	j.result = result
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	// Drop the Prepared reference: finished jobs live on in the
+	// retention window for /v1/jobs, and holding the artifact there
+	// would pin cache-evicted entries in memory past the LRU bound.
+	j.prepared = nil
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+	return true
+}
+
+// scheduler is the daemon's bounded execution engine: a fixed pool of
+// workers draining a FIFO queue of jobs. Each job runs through
+// runner.AnalyzeBatchPreparedCtx. Cancellation (client disconnect,
+// shutdown) and the optional start-TTL live on the job's context from
+// submission; a watcher goroutine finishes a still-queued job the
+// moment that context dies, so submitters waiting on the job observe
+// the deadline promptly instead of whenever a worker reaches the queue
+// position. A job already running always finishes — the dynamic stage
+// is fuel-bounded, so stragglers cannot run away. Submission order is
+// preserved per queue, and callers that need deterministic result
+// ordering (the sweep endpoint) wait on each job's done channel in
+// input order.
+type scheduler struct {
+	queue   chan *job
+	workers int
+	wg      sync.WaitGroup
+	exec    *runner.Runner
+
+	// sendMu serializes queue sends against close: submitters hold the
+	// read side while sending, close takes the write side before closing
+	// the channel, so a send can never race a close.
+	sendMu sync.RWMutex
+
+	mu        sync.Mutex
+	closed    bool
+	nextID    uint64
+	jobs      map[string]*job
+	retention []string // finished job ids, oldest first
+	stats     JobStats
+}
+
+func newScheduler(workers, queueDepth int) *scheduler {
+	s := &scheduler{
+		queue:   make(chan *job, queueDepth),
+		workers: workers,
+		// Each worker executes one configuration at a time; the pool
+		// itself provides the fan-out, so the inner runner is serial.
+		exec: &runner.Runner{Workers: 1},
+		jobs: make(map[string]*job),
+	}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.work()
+	}
+	return s
+}
+
+// newJob registers a queued job. base carries cancellation: the request
+// context for inline and sweep jobs (client disconnect cancels queued
+// work), context.Background for async ones. startTTL, when positive,
+// bounds how long the job may wait to start — a job still queued past
+// it is canceled, never run. Zero means no TTL (sweep jobs default to
+// the streaming request's lifetime instead, so the tail of a large
+// design is not doomed by the time its siblings took).
+func (s *scheduler) newJob(base context.Context, startTTL time.Duration, app string, p *core.Prepared, digest string, cfg apps.Config, censusParams []string) *job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if startTTL > 0 {
+		ctx, cancel = context.WithTimeout(base, startTTL)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	j := &job{
+		app:          app,
+		cfg:          cfg,
+		censusParams: censusParams,
+		prepared:     p,
+		digest:       digest,
+		ctx:          ctx,
+		cancel:       cancel,
+		done:         make(chan struct{}),
+		status:       StatusQueued,
+		submitted:    time.Now(),
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.stats.Submitted++
+	s.mu.Unlock()
+	// TTL watcher: a queued job whose context dies (deadline, client
+	// disconnect, shutdown) finishes immediately rather than when a
+	// worker happens to reach it. Running jobs refuse the transition.
+	go func() {
+		select {
+		case <-j.ctx.Done():
+			s.finishJob(j, false, StatusCanceled, nil,
+				fmt.Errorf("service: job %s canceled before start: %w", j.id, context.Cause(j.ctx)))
+		case <-j.done:
+		}
+	}()
+	return j
+}
+
+// finishJob applies the terminal transition once and, if it won, files
+// the accounting and retention updates. Safe to call from the watcher,
+// submit error paths, and the worker concurrently.
+func (s *scheduler) finishJob(j *job, fromRunning bool, status string, result *AnalysisResult, err error) {
+	if !j.tryTerminal(fromRunning, status, result, err) {
+		return
+	}
+	s.account(func(st *JobStats) {
+		switch status {
+		case StatusDone:
+			st.Completed++
+		case StatusFailed:
+			st.Failed++
+		case StatusCanceled:
+			st.Canceled++
+		}
+	})
+	s.retire(j)
+}
+
+// submit enqueues the job, blocking while the queue is full; ctx (the
+// submitting request's context) aborts the wait.
+func (s *scheduler) submit(ctx context.Context, j *job) error {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		err := fmt.Errorf("service: scheduler shut down")
+		s.finishJob(j, false, StatusCanceled, nil, err)
+		return err
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	case <-ctx.Done():
+		s.finishJob(j, false, StatusCanceled, nil, fmt.Errorf("service: submission aborted: %w", ctx.Err()))
+		return ctx.Err()
+	}
+}
+
+func (s *scheduler) work() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *scheduler) runJob(j *job) {
+	if !j.claimRun() {
+		// Already finished by the watcher or a submit error path — or
+		// the context died in the race window before the watcher fired;
+		// finishJob is idempotent either way.
+		s.finishJob(j, false, StatusCanceled, nil,
+			fmt.Errorf("service: job %s canceled before start: %w", j.id, context.Cause(j.ctx)))
+		return
+	}
+	s.account(func(st *JobStats) { st.Running++ })
+	res := s.exec.AnalyzeBatchPreparedCtx(j.ctx, j.prepared, []apps.Config{j.cfg})[0]
+	s.account(func(st *JobStats) { st.Running-- })
+	switch {
+	// Only errors that ARE the context's (cancellation surfaced from
+	// inside the run) count as canceled; an analysis failure that merely
+	// coincides with a dead context is still a failure.
+	case errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
+		s.finishJob(j, true, StatusCanceled, nil, res.Err)
+	case res.Err != nil:
+		s.finishJob(j, true, StatusFailed, nil, res.Err)
+	default:
+		s.finishJob(j, true, StatusDone, NewAnalysisResult(j.app, j.digest, res.Report, j.censusParams), nil)
+	}
+}
+
+// retire files a finished job into the bounded retention window.
+func (s *scheduler) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retention = append(s.retention, j.id)
+	for len(s.retention) > maxRetainedJobs {
+		delete(s.jobs, s.retention[0])
+		s.retention = s.retention[1:]
+	}
+}
+
+func (s *scheduler) account(f func(*JobStats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+func (s *scheduler) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *scheduler) jobStats() JobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = len(s.queue)
+	return st
+}
+
+// close stops the scheduler: new submissions are rejected, jobs that
+// have not started are canceled, and jobs already running finish.
+// Returns once every registered job is terminal and the pool is idle,
+// so shutdown latency is bounded by the runs in flight, not by the
+// queue depth.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	snapshot := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		snapshot = append(snapshot, j)
+	}
+	s.mu.Unlock()
+	// Cancel everything not yet running; the watchers (or the workers
+	// popping them) turn the cancellations into terminal states.
+	for _, j := range snapshot {
+		j.mu.Lock()
+		queued := j.status == StatusQueued
+		j.mu.Unlock()
+		if queued {
+			j.cancel()
+		}
+	}
+	// Wait out in-flight submitters (workers keep draining, so a blocked
+	// send completes), then close the queue to stop the pool.
+	s.sendMu.Lock()
+	close(s.queue)
+	s.sendMu.Unlock()
+	s.wg.Wait()
+	// Every job is now either terminal or being finished by its watcher;
+	// wait so callers observe a fully settled state.
+	for _, j := range snapshot {
+		<-j.done
+	}
+}

@@ -1,0 +1,397 @@
+// Package service turns the Perf-Taint pipeline into a long-running
+// analysis daemon: a JSON-over-HTTP API in front of the PR-1 batch runner
+// and the PR-2 fast interpreter, with a content-addressed PreparedCache
+// so the expensive per-spec stage (module build, verification, static
+// pass, predecoding) is paid once per distinct spec content no matter how
+// many clients and configurations hit it.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   one configuration; inline result or async job
+//	POST /v1/sweep     full-factorial design; streams NDJSON results
+//	GET  /v1/jobs/{id} job status and result
+//	GET  /v1/stats     cache hit/miss/eviction and scheduler counters
+//	GET  /healthz      liveness
+//
+// Architecture: every submission resolves its spec through the
+// PreparedCache (canonical SHA-256 of the spec content; singleflight
+// deduplication of concurrent misses; LRU bound), then enters the bounded
+// scheduler as an independent job with its own deadline context. Sweep
+// responses are written in deterministic design order as the per-config
+// jobs complete, so results are reproducible and large designs never
+// buffer in memory.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Options configures a Server; the zero value serves the bundled apps
+// with GOMAXPROCS workers and sensible bounds.
+type Options struct {
+	// Workers bounds concurrently running analysis jobs; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the PreparedCache LRU; <= 0 means 16.
+	CacheEntries int
+	// QueueDepth bounds queued-but-unstarted jobs; <= 0 means 1024.
+	QueueDepth int
+	// JobTimeout is the default per-job deadline (queue wait + run);
+	// <= 0 means 60s.
+	JobTimeout time.Duration
+	// MaxSweepConfigs rejects designs larger than this; <= 0 means 4096.
+	MaxSweepConfigs int
+	// Apps extends or overrides the bundled application registry.
+	Apps map[string]App
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 16
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 60 * time.Second
+	}
+	if o.MaxSweepConfigs <= 0 {
+		o.MaxSweepConfigs = 4096
+	}
+	return o
+}
+
+// Server is the analysis daemon: an http.Handler plus the shared cache
+// and scheduler behind it.
+type Server struct {
+	opts  Options
+	cache *PreparedCache
+	sched *scheduler
+	apps  map[string]App
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// NewServer assembles a daemon from opts. Call Close to drain it.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := BundledApps()
+	for name, app := range opts.Apps {
+		reg[name] = app
+	}
+	s := &Server{
+		opts:  opts,
+		cache: NewPreparedCache(opts.CacheEntries),
+		sched: newScheduler(opts.Workers, opts.QueueDepth),
+		apps:  reg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler exposes the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the content-addressed store (tests and embedders).
+func (s *Server) Cache() *PreparedCache { return s.cache }
+
+// Close stops accepting jobs and drains the scheduler.
+func (s *Server) Close() { s.sched.close() }
+
+// ListenAndServe serves the daemon on addr until ctx is done, then shuts
+// the listener down gracefully and drains the scheduler. It reports the
+// bound address through ready (if non-nil) once the listener is up —
+// callers binding ":0" learn the real port.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", addr, err)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		// Drain the scheduler FIRST: queued jobs cancel immediately and
+		// running ones finish, so handlers blocked on job completion
+		// unblock quickly and Shutdown only has to wait out response
+		// writing. The grace still allows one full job in case a worker
+		// picked something up at the last instant.
+		s.Close()
+		shCtx, cancel := context.WithTimeout(context.Background(), s.opts.JobTimeout+5*time.Second)
+		defer cancel()
+		err = hs.Shutdown(shCtx)
+		<-errc
+	case err = <-errc:
+	}
+	s.Close()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Workers:  s.opts.Workers,
+		Apps:     names,
+		Cache:    s.cache.Stats(),
+		Jobs:     s.sched.jobStats(),
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.sched.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	app, spec, prepared, digest, err := s.resolve(req.App)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateParamNames(spec, configKeys(req.Config)); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateParamNames(spec, req.CensusParams); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("census_params: %w", err))
+		return
+	}
+	cfg := mergedConfig(app, req.Config)
+	if err := validateConfig(spec, cfg); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	base := r.Context()
+	if req.Async {
+		// Async jobs outlive the submitting request.
+		base = context.Background()
+	}
+	j := s.sched.newJob(base, s.timeout(req.TimeoutMS), req.App, prepared, digest,
+		cfg, censusParams(req.CensusParams))
+	if err := s.sched.submit(r.Context(), j); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, j.Info())
+		return
+	}
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, j.Info())
+	case <-r.Context().Done():
+		// The job context derives from the request, so queued work is
+		// already canceled; nothing useful can be written to a gone peer.
+	}
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	app, spec, prepared, digest, err := s.resolve(req.App)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Axes) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("sweep requires at least one axis"))
+		return
+	}
+	if err := validateParamNames(spec, configKeys(req.Defaults)); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validateParamNames(spec, req.CensusParams); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("census_params: %w", err))
+		return
+	}
+	design := runner.Design{Spec: spec, Defaults: mergedConfig(app, req.Defaults)}
+	// Size the grid incrementally while validating each axis: rejecting
+	// as soon as the partial product passes the cap means the product can
+	// never overflow, however many axes the request stacks up.
+	seenAxis := make(map[string]bool, len(req.Axes))
+	size := 1
+	for _, ax := range req.Axes {
+		if len(ax.Values) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("axis %q has no values", ax.Param))
+			return
+		}
+		if seenAxis[ax.Param] {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("axis %q repeated", ax.Param))
+			return
+		}
+		seenAxis[ax.Param] = true
+		if err := validateParamNames(spec, []string{ax.Param}); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		size *= len(ax.Values)
+		if size > s.opts.MaxSweepConfigs {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("design exceeds the server cap of %d configs", s.opts.MaxSweepConfigs))
+			return
+		}
+		design.Axes = append(design.Axes, runner.Axis{Param: ax.Param, Values: ax.Values})
+	}
+	cfgs := design.Configs()
+	for i, cfg := range cfgs {
+		if err := validateConfig(spec, cfg); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
+			return
+		}
+	}
+
+	// Submit every configuration as its own job (request-scoped: a client
+	// disconnect cancels everything still queued), then stream results in
+	// design order as they complete. Sweep jobs get no start-TTL unless
+	// the request asks for one: the streaming request's lifetime already
+	// governs them, and a submission-anchored TTL would doom the tail of
+	// any design larger than workers x (TTL / run time).
+	var ttl time.Duration
+	if req.TimeoutMS > 0 {
+		ttl = s.timeout(req.TimeoutMS)
+	}
+	params := censusParams(req.CensusParams)
+	jobs := make([]*job, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		j := s.sched.newJob(r.Context(), ttl, req.App, prepared, digest, cfg, params)
+		if err := s.sched.submit(r.Context(), j); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		jobs = append(jobs, j)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+		info := j.Info()
+		line := SweepLine{Index: i, JobID: j.id, Config: j.cfg,
+			Result: info.Result, Error: info.Error}
+		if err := enc.Encode(&line); err != nil {
+			return
+		}
+		_ = rc.Flush()
+	}
+}
+
+// resolve maps an app name to its registry entry and its cached Prepared
+// artifact, building the latter through the content-addressed cache.
+func (s *Server) resolve(name string) (App, *apps.Spec, *core.Prepared, string, error) {
+	app, ok := s.apps[name]
+	if !ok {
+		names := make([]string, 0, len(s.apps))
+		for n := range s.apps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return App{}, nil, nil, "", fmt.Errorf("unknown app %q (registered: %v)", name, names)
+	}
+	spec := app.New()
+	p, digest, err := s.cache.Get(spec)
+	if err != nil {
+		return App{}, nil, nil, "", fmt.Errorf("prepare %q: %w", name, err)
+	}
+	return app, spec, p, digest, nil
+}
+
+// timeout resolves a request's start-TTL. The server's JobTimeout is
+// both the default and the ceiling: the shutdown grace is sized from
+// it, so no client-supplied value may exceed it.
+func (s *Server) timeout(ms int64) time.Duration {
+	if ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < s.opts.JobTimeout {
+			return d
+		}
+	}
+	return s.opts.JobTimeout
+}
+
+func censusParams(req []string) []string {
+	if len(req) > 0 {
+		return req
+	}
+	return DefaultCensusParams()
+}
+
+// --- helpers ---
+
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

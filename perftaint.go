@@ -17,10 +17,13 @@
 package perftaint
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/extrap"
 	"repro/internal/runner"
+	"repro/internal/service"
 )
 
 // Re-exported core types.
@@ -54,6 +57,25 @@ type (
 	Design = runner.Design
 	// Axis is one swept parameter of a Design.
 	Axis = runner.Axis
+	// Server is the analysis daemon: the pipeline behind a JSON HTTP API
+	// with a content-addressed PreparedCache and a bounded job scheduler.
+	Server = service.Server
+	// ServerOptions configures a Server (workers, cache capacity, job
+	// deadlines).
+	ServerOptions = service.Options
+	// Client talks to a running perftaintd daemon.
+	Client = service.Client
+	// AnalyzeRequest is one configuration submitted to a daemon.
+	AnalyzeRequest = service.AnalyzeRequest
+	// SweepRequest is a full-factorial design submitted to a daemon; the
+	// results stream back as NDJSON lines in design order.
+	SweepRequest = service.SweepRequest
+	// SweepAxis is one swept parameter of a SweepRequest.
+	SweepAxis = service.SweepAxis
+	// SweepLine is one streamed result record of a sweep.
+	SweepLine = service.SweepLine
+	// JobInfo is the wire view of one scheduled analysis job.
+	JobInfo = service.JobInfo
 )
 
 // Analyze runs the full Perf-Taint pipeline (build, static prune, tainted
@@ -79,6 +101,24 @@ func AnalyzeBatch(spec *Spec, cfgs []Config) ([]BatchResult, error) {
 
 // Sweep expands a full-factorial design and analyzes it as one batch.
 func Sweep(d Design) ([]BatchResult, error) { return runner.New().Sweep(d) }
+
+// NewServer assembles an analysis daemon; serve it with ListenAndServe
+// or mount Handler() into an existing HTTP server.
+func NewServer(opts ServerOptions) *Server { return service.NewServer(opts) }
+
+// Serve runs an analysis daemon on addr until ctx is done, then drains
+// it. It is the programmatic equivalent of `perftaintd -addr addr`.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	return service.NewServer(opts).ListenAndServe(ctx, addr, nil)
+}
+
+// NewClient returns a client for the daemon at base, e.g.
+// "http://127.0.0.1:7070".
+func NewClient(base string) *Client { return service.NewClient(base) }
+
+// SpecDigest returns the content address of a spec: the key under which
+// a daemon's PreparedCache shares the prepared artifacts.
+func SpecDigest(spec *Spec) string { return core.SpecDigest(spec) }
 
 // LULESH returns the bundled LULESH proxy-app specification.
 func LULESH() *Spec { return apps.LULESH() }
