@@ -90,6 +90,7 @@ func main() {
 	current := flag.String("current", "-", "bench output to read ('-' = stdin)")
 	maxRegress := flag.Float64("max-regress", 0, "allowed fractional slowdown (0 = use baseline's)")
 	absolute := flag.Bool("absolute", false, "compare raw ns/instr without hardware normalization")
+	samples := flag.String("samples", "", "also write the parsed per-benchmark samples as JSON to this file (CI uploads it as an artifact)")
 	flag.Parse()
 
 	in := os.Stdin
@@ -107,6 +108,9 @@ func main() {
 	}
 	if len(got) == 0 {
 		log.Fatalf("no %s benchmark results in input; did the bench run emit the metric?", metricName)
+	}
+	if *samples != "" {
+		writeSamples(*samples, got)
 	}
 
 	if *update != "" {
@@ -164,6 +168,7 @@ func gate(base Baseline, got map[string]float64, allowed float64, absolute bool)
 		fail = true
 	}
 
+	improved := 0
 	for _, name := range names {
 		want := base.Benchmarks[name]
 		cur, ok := got[name]
@@ -180,6 +185,12 @@ func gate(base Baseline, got map[string]float64, allowed float64, absolute bool)
 		case ratio > 1+allowed:
 			verdict = "REGRESS "
 			fail = true
+		case ratio < 1-allowed:
+			// Improvement beyond the gate's own noise bound: the baseline
+			// no longer describes this benchmark. Never fatal — speedups
+			// must not break CI — but worth a stale-baseline nudge below.
+			verdict = "faster  "
+			improved++
 		case ratio < 0.8:
 			verdict = "faster  "
 		}
@@ -191,7 +202,41 @@ func gate(base Baseline, got map[string]float64, allowed float64, absolute bool)
 			log.Printf("note: %s not in baseline (add it via -update)", name)
 		}
 	}
+	// A uniform whole-suite speedup normalizes away (scale < 1), so the
+	// per-benchmark counter alone would miss the most common stale-baseline
+	// cause; mirror the max_scale slowdown check on the fast side.
+	suiteFaster := !absolute && scale < 1-allowed
+	if (improved > 0 || suiteFaster) && !fail {
+		switch {
+		case improved > 0:
+			log.Printf("baseline stale — %d benchmark(s) improved beyond the %.0f%% noise bound; "+
+				"consider re-tightening the gate with the refresh command (add -reset after an intentional speedup): %s",
+				improved, allowed*100, base.Refresh)
+		default:
+			log.Printf("baseline stale — the whole suite runs %.0f%% faster than baseline (median ratio %.2f); "+
+				"consider re-tightening the gate with the refresh command (add -reset after an intentional speedup): %s",
+				(1-scale)*100, scale, base.Refresh)
+		}
+	}
 	return fail
+}
+
+// writeSamples dumps the parsed per-benchmark minima (the gate's input
+// after name normalization and min-of-count collapsing) as JSON, so CI can
+// attach the raw evidence behind a verdict to the workflow run.
+func writeSamples(path string, got map[string]float64) {
+	out := struct {
+		Metric     string             `json:"metric"`
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}{Metric: metricName, Benchmarks: got}
+	raw, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // hardwareScale is the median current/baseline ratio over the

@@ -143,3 +143,42 @@ func TestHardwareScale(t *testing.T) {
 		t.Errorf("tiny-suite scale = %g, want 1.0", s)
 	}
 }
+
+// An improvement beyond the noise bound must stay non-fatal — the gate only
+// nudges toward a baseline refresh.
+func TestGateImprovementIsNonFatal(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchmarkA": 100,
+		"BenchmarkB": 100,
+		"BenchmarkC": 100,
+	}}
+	// One benchmark 2x faster, the others steady: normalization keeps the
+	// median at 1, the improvement lands far below 1-allowed, and the gate
+	// must still pass.
+	got := map[string]float64{"BenchmarkA": 50, "BenchmarkB": 100, "BenchmarkC": 100}
+	if gate(base, got, 0.25, false) {
+		t.Fatal("gate failed on a pure improvement")
+	}
+	if gate(base, got, 0.25, true) {
+		t.Fatal("absolute gate failed on a pure improvement")
+	}
+}
+
+func TestWriteSamples(t *testing.T) {
+	path := t.TempDir() + "/samples.json"
+	writeSamples(path, map[string]float64{"BenchmarkA": 12.5})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Metric     string             `json:"metric"`
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Metric != metricName || out.Benchmarks["BenchmarkA"] != 12.5 {
+		t.Fatalf("samples round trip: %+v", out)
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -73,6 +75,8 @@ func main() {
 func runLocal(args []string) {
 	fs := flag.NewFlagSet("perftaint", flag.ExitOnError)
 	app := fs.String("app", "lulesh", "application to analyze: lulesh or milc")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile (after the analysis) to this file")
 	fs.Parse(args)
 
 	var spec *apps.Spec
@@ -86,9 +90,42 @@ func runLocal(args []string) {
 		log.Fatalf("unknown app %q (want lulesh or milc)", *app)
 	}
 
+	// Profiling hooks: the tainted run is the hot path of the whole system,
+	// and every past speedup here started from a profile, not a guess.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			log.Printf("wrote CPU profile to %s (inspect with: go tool pprof %s)", *cpuProfile, *cpuProfile)
+		}()
+	}
+
 	rep, err := core.Analyze(spec, cfg)
 	if err != nil {
+		// log.Fatal skips defers; flush the CPU profile first so a failing
+		// run — the one most worth profiling — still leaves a usable file.
+		pprof.StopCPUProfile()
 		log.Fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // flush recently freed objects so the profile shows live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		f.Close()
+		log.Printf("wrote allocation profile to %s (inspect with: go tool pprof %s)", *memProfile, *memProfile)
 	}
 
 	out := jsonReport{

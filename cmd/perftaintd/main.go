@@ -13,6 +13,8 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for the -pprof listener
 	"os/signal"
 	"syscall"
 	"time"
@@ -28,7 +30,21 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 16, "PreparedCache capacity (distinct spec contents)")
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 	queueDepth := flag.Int("queue-depth", 1024, "maximum queued jobs")
+	pprofAddr := flag.String("pprof", "", "optional debug listen address for net/http/pprof (e.g. 127.0.0.1:6060); disabled when empty")
 	flag.Parse()
+
+	// Opt-in profiling sidecar: the analysis endpoints stay on their own
+	// mux, so the debug surface is never exposed on the service address.
+	// Hot-path work should start from `go tool pprof
+	// http://<pprof-addr>/debug/pprof/profile`, not from a guess.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof debug listener on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener failed: %v", err)
+			}
+		}()
+	}
 
 	srv := service.NewServer(service.Options{
 		Workers:      *workers,

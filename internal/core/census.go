@@ -68,7 +68,7 @@ func (r *Report) Census(modelParams []string) Census {
 	for k, rec := range r.Engine.Loops {
 		key := loopID{k.Func, k.LoopID}
 		tainted[key] = r.Engine.Table.Expand(
-			r.Engine.Table.Union(rec.Labels, labelOfDeps(r, tainted[key])))
+			rec.Labels | labelOfDeps(r, tainted[key]))
 	}
 
 	for _, fn := range r.Module.FuncList {
@@ -105,7 +105,7 @@ func (r *Report) Census(modelParams []string) Census {
 // repeated census passes stay idempotent.
 func labelOfDeps(r *Report, deps []string) (l taint.Label) {
 	for _, d := range deps {
-		l = r.Engine.Table.Union(l, r.Engine.Table.Base(d))
+		l |= r.Engine.Table.Base(d)
 	}
 	return l
 }

@@ -51,6 +51,9 @@ type Prepared struct {
 // pipeline, independent of any configuration.
 func Prepare(spec *apps.Spec) (*Prepared, error) {
 	db := libdb.DefaultMPI()
+	if err := validateTaintParams(spec); err != nil {
+		return nil, err
+	}
 	mod, err := apps.BuildModule(spec)
 	if err != nil {
 		return nil, fmt.Errorf("core: build module: %w", err)
@@ -62,6 +65,24 @@ func Prepare(spec *apps.Spec) (*Prepared, error) {
 		return nil, fmt.Errorf("core: verify module: %w", err)
 	}
 	return PrepareModule(spec, mod, db), nil
+}
+
+// validateTaintParams rejects specs whose distinct taint parameters — the
+// declared spec parameters plus the implicit library parameter p — exceed
+// the 64-bit mask budget of the taint engine. Catching this at Prepare time
+// turns a would-be hot-loop panic into a typed, actionable error
+// (taint.TooManyLabelsError) before any expensive work runs.
+func validateTaintParams(spec *apps.Spec) error {
+	distinct := make(map[string]bool, len(spec.Params)+1)
+	for _, p := range spec.Params {
+		distinct[p] = true
+	}
+	distinct[libdb.MPIParam] = true
+	if n := len(distinct); n > taint.MaxBaseLabels {
+		return fmt.Errorf("core: spec %q declares %d distinct taint parameters (including implicit %q): %w",
+			spec.Name, n, libdb.MPIParam, &taint.TooManyLabelsError{Declared: n})
+	}
+	return nil
 }
 
 // PrepareModule runs the static pass over an already built and verified
@@ -123,7 +144,7 @@ func (p *Prepared) Analyze(cfg apps.Config) (*Report, error) {
 		l := taint.None
 		for k, rec := range engine.Loops {
 			if k.Func == fn && k.LoopID == loopID {
-				l = engine.Table.Union(l, rec.Labels)
+				l |= rec.Labels
 			}
 		}
 		return engine.Table.Expand(l)

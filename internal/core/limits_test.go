@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/taint"
+)
+
+// overParamSpec clones LULESH and inflates its parameter list to n distinct
+// names (LULESH's own parameters first, padding after).
+func overParamSpec(n int) *apps.Spec {
+	spec := apps.LULESH()
+	params := append([]string(nil), spec.Params...)
+	for i := 0; len(params) < n; i++ {
+		params = append(params, fmt.Sprintf("pad%02d", i))
+	}
+	spec.Params = params
+	return spec
+}
+
+func TestPrepareRejectsTooManyTaintParams(t *testing.T) {
+	// 64 declared + implicit p = 65 distinct > MaxBaseLabels.
+	_, err := Prepare(overParamSpec(taint.MaxBaseLabels))
+	if err == nil {
+		t.Fatal("Prepare accepted a spec exceeding the mask budget")
+	}
+	var tme *taint.TooManyLabelsError
+	if !errors.As(err, &tme) {
+		t.Fatalf("want TooManyLabelsError, got %T: %v", err, err)
+	}
+	if tme.Declared != taint.MaxBaseLabels+1 {
+		t.Fatalf("Declared = %d, want %d", tme.Declared, taint.MaxBaseLabels+1)
+	}
+}
+
+func TestPrepareAcceptsMaxTaintParams(t *testing.T) {
+	// 63 declared + implicit p = exactly MaxBaseLabels distinct: allowed.
+	if _, err := Prepare(overParamSpec(taint.MaxBaseLabels - 1)); err != nil {
+		t.Fatalf("Prepare rejected a spec at the mask budget: %v", err)
+	}
+}

@@ -199,7 +199,7 @@ func (r *Report) Coverage(modelParams []string) (rows []ParameterCoverage, union
 	loopLabels := make(map[loopID]taint.Label)
 	for k, rec := range r.Engine.Loops {
 		key := loopID{k.Func, k.LoopID}
-		loopLabels[key] = r.Engine.Table.Union(loopLabels[key], rec.Labels)
+		loopLabels[key] |= rec.Labels
 	}
 
 	inModel := func(name string) bool {

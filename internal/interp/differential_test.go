@@ -310,6 +310,8 @@ type runOpts struct {
 	fuel    int64
 	tainted bool
 	trace   bool
+	// params overrides the tainted parameter names (default x, y, z).
+	params []string
 }
 
 func runOne(t *testing.T, mod *ir.Module, args []int64, o runOpts) (string, []string) {
@@ -331,7 +333,11 @@ func runOne(t *testing.T, mod *ir.Module, args []int64, o runOpts) (string, []st
 	db.Bind(mach, eng, libdb.RunConfig{CommSize: 8, Rank: 0})
 	var labels []taint.Label
 	if o.tainted {
-		for _, p := range []string{"x", "y", "z"} {
+		params := o.params
+		if params == nil {
+			params = []string{"x", "y", "z"}
+		}
+		for _, p := range params {
 			labels = append(labels, eng.Table.Base(p))
 		}
 	}
@@ -343,10 +349,10 @@ func runOne(t *testing.T, mod *ir.Module, args []int64, o runOpts) (string, []st
 	return fingerprint(res, err, eng), events
 }
 
-func diffModes(t *testing.T, mod *ir.Module, args []int64, fuel int64, tainted bool) {
+func diffModes(t *testing.T, mod *ir.Module, args []int64, fuel int64, tainted bool, params ...string) {
 	t.Helper()
-	ref, refEv := runOne(t, mod, args, runOpts{mode: interp.ModeReference, fuel: fuel, tainted: tainted, trace: true})
-	fast, fastEv := runOne(t, mod, args, runOpts{mode: interp.ModeFast, fuel: fuel, tainted: tainted, trace: true})
+	ref, refEv := runOne(t, mod, args, runOpts{mode: interp.ModeReference, fuel: fuel, tainted: tainted, trace: true, params: params})
+	fast, fastEv := runOne(t, mod, args, runOpts{mode: interp.ModeFast, fuel: fuel, tainted: tainted, trace: true, params: params})
 	if ref != fast {
 		t.Fatalf("fast engine diverged (tainted=%v fuel=%d):\n--- reference ---\n%s\n--- fast ---\n%s", tainted, fuel, ref, fast)
 	}
@@ -405,6 +411,109 @@ func TestDifferentialFastMatchesReference(t *testing.T) {
 			if n := instructionsOf(t, mod, args); n > 4 {
 				diffModes(t, mod, args, n/2, true)
 				diffModes(t, mod, args, n-1, false)
+			}
+		})
+	}
+}
+
+// ---- deep union chains over a wide parameter set ----
+
+// genDeepModule builds a seeded module whose main takes nparams tainted
+// parameters and funnels all of them through long union chains: running
+// accumulators, store/load round trips through a scratch array, helper
+// calls that union their arguments, and loops whose (tainted) bounds sink
+// the accumulated masks into loop records. With the mask-native labels
+// every step of the chain is a single OR; the reference engine must agree
+// on every observable at every depth of the chain.
+func genDeepModule(seed int64, nparams int) *ir.Module {
+	r := rand.New(rand.NewSource(seed*104729 + 7))
+	mod := ir.NewModule(fmt.Sprintf("deep%d", seed))
+
+	// mix2(a, b): a+b via a store/load round trip (heap-carried union).
+	hb := ir.NewFunc(mod, "mix2", 2)
+	harr := hb.Alloc(hb.Const(2))
+	hb.Store(harr, 0, hb.Add(hb.Param(0), hb.Param(1)))
+	hb.Ret(hb.Load(harr, 0))
+	hb.Finish()
+
+	// fold3(a, b, c): unions b and c into a across a counted loop whose
+	// bound is tainted by b (loop-exit sink of a partial chain).
+	fb := ir.NewFunc(mod, "fold3", 3)
+	facc := fb.Mov(fb.Param(0))
+	fb.For(fb.Const(0), fb.Bin(ir.OpAnd, fb.Param(1), fb.Const(3)), fb.Const(1), func(i ir.Reg) {
+		fb.MovTo(facc, fb.Add(facc, fb.Param(2)))
+		fb.MovTo(facc, fb.Add(facc, i))
+	})
+	fb.Ret(facc)
+	fb.Finish()
+
+	b := ir.NewFunc(mod, "main", nparams)
+	arr := b.Alloc(b.Const(int64(nparams)))
+	for i := 0; i < nparams; i++ {
+		b.Store(arr, int64(i), b.Param(i))
+	}
+	acc := b.Mov(b.Param(0))
+	for i := 1; i < nparams; i++ {
+		p := b.Param(i)
+		switch r.Intn(4) {
+		case 0:
+			b.MovTo(acc, b.Call("mix2", acc, p))
+		case 1:
+			idx := b.Bin(ir.OpAnd, p, b.Const(int64(nparams-1)))
+			b.MovTo(acc, b.Call("fold3", acc, p, b.Load(b.Add(arr, idx), 0)))
+		case 2:
+			// Cycle the chain through memory: store the accumulator over a
+			// parameter slot, read a different slot back in.
+			b.Store(arr, int64(i%nparams), acc)
+			b.MovTo(acc, b.Add(acc, b.Load(b.Add(arr, b.Const(int64((i*3)%nparams))), 0)))
+		default:
+			b.MovTo(acc, b.Add(acc, p))
+		}
+		if r.Intn(3) == 0 {
+			// A loop whose bound carries the whole chain so far: the exit
+			// condition sinks a wide mask, and the body keeps growing it.
+			b.For(b.Const(0), b.Bin(ir.OpAnd, acc, b.Const(3)), b.Const(1), func(j ir.Reg) {
+				b.MovTo(acc, b.Add(acc, j))
+				b.Store(arr, 0, acc)
+			})
+		}
+	}
+	// Library interaction: a taint source plus a send whose count carries
+	// the full chain.
+	b.Store(arr, 0, b.Call("MPI_Comm_size", b.Const(0), arr))
+	b.MovTo(acc, b.Add(acc, b.Load(arr, 0)))
+	b.Call("MPI_Send", arr, acc, b.Const(1))
+	b.Ret(acc)
+	b.Finish()
+	return mod
+}
+
+// TestDifferentialDeepUnionChains exercises union chains that accumulate up
+// to twelve base labels (plus the implicit p) through registers, the shadow
+// heap, call arguments, and loop sinks, under both engines, full-fuel and
+// truncated.
+func TestDifferentialDeepUnionChains(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		nparams := 8 + int(seed%5)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			mod := genDeepModule(seed, nparams)
+			db := libdb.DefaultMPI()
+			if err := ir.VerifyModule(mod, func(name string) bool {
+				_, ok := db.Lookup(name)
+				return ok
+			}); err != nil {
+				t.Fatalf("deep generator produced invalid module: %v", err)
+			}
+			params := make([]string, nparams)
+			args := make([]int64, nparams)
+			for i := range params {
+				params[i] = fmt.Sprintf("q%02d", i)
+				args[i] = int64((seed+int64(i*5))%11) - 3
+			}
+			diffModes(t, mod, args, 1_000_000, true, params...)
+			diffModes(t, mod, args, 1_000_000, false, params...)
+			if n := instructionsOf(t, mod, args); n > 4 {
+				diffModes(t, mod, args, n/2, true, params...)
 			}
 		})
 	}

@@ -16,9 +16,12 @@ import (
 // lazily resolved records alias the same engine entry, preserving the
 // reference engine's string-keyed aggregation.
 type pathNode struct {
-	str      string
-	fnIdx    int32
-	children map[int32]int32
+	str   string
+	fnIdx int32
+	// children maps call-site IDs to interned child contexts. Contexts fan
+	// out over a handful of sites in practice, so a move-to-front slice
+	// scan beats hashing the key; a hot site resolves on the first probe.
+	children []pathChild
 	// loopRecs caches, per func-local loop, the engine record for this
 	// context; entries resolve lazily on the first event so that record
 	// creation order matches the reference interpreter exactly.
@@ -26,6 +29,12 @@ type pathNode struct {
 	// libRec caches the library-call record when this node is an extern
 	// call tail.
 	libRec *taint.LibCallRecord
+}
+
+// pathChild is one interned child context of a pathNode.
+type pathChild struct {
+	site int32
+	id   int32
 }
 
 // fastFrame is a reusable activation record. Frames are pooled per call
@@ -40,18 +49,29 @@ type fastFrame struct {
 	args      []Value
 	argLabels []taint.Label
 	ext       ExternCall
+	// seqBase is the write-sequence epoch of the next activation on this
+	// frame. born entries below it belong to earlier activations and read
+	// as "not yet defined", so reusing the frame costs O(params) instead
+	// of re-initializing the whole born array. Clean returns advance it
+	// past every sequence number the activation handed out; aborted runs
+	// scrub born wholesale instead (see runFast).
+	seqBase int
 }
 
 // ctlState carries the control-flow-taint state of one activation. Its
 // methods replace the per-call writeLabel/regCtl/memCtl closures of the
 // reference interpreter with plain calls on a stack-allocated struct.
+// Labels are parameter masks, so every join below is a bare OR — no table,
+// no memoization, no allocation.
 type ctlState struct {
 	ctl      []ctlScope
 	born     []int
 	writeSeq int
-	tbl      *taint.Table
-	ctlBase  taint.Label
-	cflow    bool
+	// seqBase is the epoch of this activation: born entries below it are
+	// stale leftovers from earlier activations of the pooled frame.
+	seqBase int
+	ctlBase taint.Label
+	cflow   bool
 }
 
 // regCtl computes the control label applicable to a register write: every
@@ -61,8 +81,8 @@ func (cs *ctlState) regCtl(dst int32) taint.Label {
 	l := taint.None
 	for i := range cs.ctl {
 		s := &cs.ctl[i]
-		if !s.loopExit || (cs.born[dst] >= 0 && cs.born[dst] < s.openSeq) {
-			l = cs.tbl.Union(l, s.label)
+		if !s.loopExit || (cs.born[dst] >= cs.seqBase && cs.born[dst] < s.openSeq) {
+			l |= s.label
 		}
 	}
 	return l
@@ -73,26 +93,9 @@ func (cs *ctlState) regCtl(dst int32) taint.Label {
 func (cs *ctlState) memCtl() taint.Label {
 	l := cs.ctlBase
 	for i := range cs.ctl {
-		l = cs.tbl.Union(l, cs.ctl[i].label)
+		l |= cs.ctl[i].label
 	}
 	return l
-}
-
-// set writes a register label, applying control-dependence taint and birth
-// bookkeeping under control-flow mode. Callers gate on tainting.
-func (cs *ctlState) set(labels []taint.Label, dst int32, l taint.Label) {
-	if !cs.cflow {
-		labels[dst] = l
-		return
-	}
-	if c := cs.regCtl(dst); c != taint.None {
-		l = cs.tbl.Union(l, c)
-	}
-	if cs.born[dst] < 0 {
-		cs.born[dst] = cs.writeSeq
-	}
-	cs.writeSeq++
-	labels[dst] = l
 }
 
 // push opens a control scope, merging it with an open scope of identical
@@ -103,10 +106,8 @@ func (cs *ctlState) set(labels []taint.Label, dst int32, l taint.Label) {
 // observable label: duplicate scopes contribute the same label to a union,
 // and a loop-carried register passes the born test against some scope of
 // the group iff it passes against the group's maximum openSeq, which is
-// exactly what the merged scope keeps. (The order in which distinct labels
-// enter a union chain can shift, so intermediate label-table ids may
-// differ from the reference; the differential harness therefore compares
-// labels by their parameter masks.)
+// exactly what the merged scope keeps. Since labels are canonical parameter
+// masks, the union order cannot even produce different representations.
 func (cs *ctlState) push(join int, label taint.Label, loopExit bool) {
 	for i := range cs.ctl {
 		s := &cs.ctl[i]
@@ -160,43 +161,75 @@ func (m *Machine) resetFast(prog *Program) {
 			m.branchRecs[i] = nil
 		}
 	}
+	if len(m.siteCache) != int(prog.numSites) {
+		m.siteCache = make([]int64, prog.numSites)
+	} else {
+		clear(m.siteCache)
+	}
 	m.paths = m.paths[:0]
 }
 
 // frame returns the pooled activation record for the given call depth,
-// sized and zeroed for numRegs registers.
-func (m *Machine) frame(depth int, numRegs int32) *fastFrame {
+// sized for df's registers. Recycled frames are not wiped wholesale: the
+// IR contract makes unwritten registers read as zero, and predecode knows
+// exactly which registers can be read before written (df.zeroRegs), so
+// only those slots — and their labels, when labels flow — are scrubbed.
+func (m *Machine) frame(depth int, df *dfunc) *fastFrame {
 	for len(m.frames) <= depth {
 		m.frames = append(m.frames, &fastFrame{})
 	}
 	fr := m.frames[depth]
-	n := int(numRegs)
+	n := int(df.numRegs)
 	if cap(fr.regs) < n {
 		fr.regs = make([]Value, n)
 		fr.labels = make([]taint.Label, n)
 		fr.born = make([]int, n)
-	} else {
-		fr.regs = fr.regs[:n]
-		fr.labels = fr.labels[:n]
-		fr.born = fr.born[:n]
-		for i := range fr.regs {
-			fr.regs[i] = 0
+		// A fresh born array is all zeros; epoch 1 makes them read stale.
+		fr.seqBase = 1
+		return fr
+	}
+	fr.regs = fr.regs[:n]
+	fr.labels = fr.labels[:n]
+	fr.born = fr.born[:n]
+	switch {
+	case m.labeling && m.Taint != nil:
+		// Tainted run: every register write also writes its label, so the
+		// definite-assignment set covers the label bank too.
+		for _, r := range df.zeroRegs {
+			fr.regs[r] = 0
+			fr.labels[r] = taint.None
+		}
+	case m.labeling:
+		// Argument labels without an engine: no dispatch arm writes the
+		// label bank, so recycled frames must be scrubbed wholesale for
+		// labels to read deterministically (only call-arg copies move them).
+		for _, r := range df.zeroRegs {
+			fr.regs[r] = 0
 		}
 		for i := range fr.labels {
 			fr.labels[i] = taint.None
+		}
+	default:
+		for _, r := range df.zeroRegs {
+			fr.regs[r] = 0
 		}
 	}
 	return fr
 }
 
 // childPath interns the calling context reached from parent through site,
-// creating (and rendering) the node exactly once per distinct path.
+// creating (and rendering) the node exactly once per distinct path. Repeat
+// resolutions of the hottest site hit the front of the child list.
 func (m *Machine) childPath(prog *Program, parent int32, site *dcall, tainting bool) int32 {
 	pn := m.paths[parent]
-	if pn.children == nil {
-		pn.children = make(map[int32]int32, 4)
-	} else if id, ok := pn.children[site.siteID]; ok {
-		return id
+	kids := pn.children
+	for i := range kids {
+		if kids[i].site == site.siteID {
+			if i > 0 {
+				kids[0], kids[i] = kids[i], kids[0]
+			}
+			return kids[0].id
+		}
 	}
 	id := int32(len(m.paths))
 	nn := &pathNode{str: pn.str + "/" + site.sym, fnIdx: site.callee}
@@ -204,19 +237,25 @@ func (m *Machine) childPath(prog *Program, parent int32, site *dcall, tainting b
 		nn.loopRecs = make([]*taint.LoopRecord, len(prog.funcs[site.callee].loops))
 	}
 	m.paths = append(m.paths, nn)
-	pn.children[site.siteID] = id
+	pn.children = append(pn.children, pathChild{site: site.siteID, id: id})
 	return id
 }
 
 // loopRec resolves (lazily, preserving the reference engine's record
 // creation order) the loop record for func-local loop li in context path.
+// The hit path is a slice probe and inlines into the dispatch loop.
 func (m *Machine) loopRec(df *dfunc, path *pathNode, li int32, eng *taint.Engine) *taint.LoopRecord {
-	r := path.loopRecs[li]
-	if r == nil {
-		lm := df.loops[li]
-		r = eng.LoopRec(df.name, int(lm.id), int(lm.header), path.str)
-		path.loopRecs[li] = r
+	if r := path.loopRecs[li]; r != nil {
+		return r
 	}
+	return m.loopRecSlow(df, path, li, eng)
+}
+
+//go:noinline
+func (m *Machine) loopRecSlow(df *dfunc, path *pathNode, li int32, eng *taint.Engine) *taint.LoopRecord {
+	lm := df.loops[li]
+	r := eng.LoopRec(df.name, int(lm.id), int(lm.header), path.str)
+	path.loopRecs[li] = r
 	return r
 }
 
@@ -231,7 +270,18 @@ func (m *Machine) loopEvent(df *dfunc, path *pathNode, kind uint8, li int32, eng
 }
 
 // branchRec resolves (lazily, run-scoped) the branch record of block in df.
+// The hit path is two slice probes and inlines into the dispatch loop.
 func (m *Machine) branchRec(df *dfunc, block int32, eng *taint.Engine) *taint.BranchRecord {
+	if brs := m.branchRecs[df.idx]; brs != nil {
+		if r := brs[block]; r != nil {
+			return r
+		}
+	}
+	return m.branchRecSlow(df, block, eng)
+}
+
+//go:noinline
+func (m *Machine) branchRecSlow(df *dfunc, block int32, eng *taint.Engine) *taint.BranchRecord {
 	brs := m.branchRecs[df.idx]
 	if brs == nil {
 		brs = make([]*taint.BranchRecord, df.numBlocks)
@@ -265,6 +315,10 @@ func (m *Machine) runFast(entry string, args []Value, argLabels []taint.Label) (
 	if err := m.reset(); err != nil {
 		return nil, err
 	}
+	// Label banks are maintained only when labels can flow at all; a plain
+	// run skips their zeroing and per-call copies entirely, and its result
+	// label is forced to None below (pooled frames may hold stale labels).
+	m.labeling = m.Taint != nil || argLabels != nil
 	m.resetFast(prog)
 
 	root := &pathNode{str: entry, fnIdx: fi}
@@ -273,16 +327,36 @@ func (m *Machine) runFast(entry string, args []Value, argLabels []taint.Label) (
 	}
 	m.paths = append(m.paths, root)
 
-	fr := m.frame(0, df.numRegs)
+	fr := m.frame(0, df)
 	copy(fr.regs, args)
+	if m.labeling {
+		// Parameters are never in zeroRegs (they are assigned at entry),
+		// so the recycled root frame's param slots must be cleared before
+		// the (possibly partial) argument labels are copied in — the
+		// reference engine zero-fills its fresh label bank the same way.
+		clear(fr.labels[:df.numParams])
+	}
 	if argLabels != nil {
 		copy(fr.labels, argLabels)
 	}
 
 	startFuel := m.fuel
 	v, l, err := m.execFast(prog, df, fr, 0, taint.None, 0)
+	prog.noteArenas(len(m.heap), len(m.shadow))
 	if err != nil {
+		// Aborted activations did not advance their frames' epochs past
+		// the sequence numbers they handed out; scrub born wholesale so a
+		// reused machine cannot mistake stale entries for live ones. The
+		// scrub must reach the full capacity: a later activation may
+		// reslice the bank wider than the aborted one's length.
+		for _, f := range m.frames {
+			clear(f.born[:cap(f.born)])
+			f.seqBase = 1
+		}
 		return &Result{Instructions: startFuel - m.fuel}, err
+	}
+	if !m.labeling {
+		l = taint.None
 	}
 	return &Result{Value: v, Label: l, Instructions: startFuel - m.fuel}, nil
 }
@@ -319,19 +393,16 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 	code := df.code
 	path := m.paths[pathIdx]
 	tainting := eng != nil
-	var tbl *taint.Table
-	if tainting {
-		tbl = eng.Table
-	}
-	cs := ctlState{ctl: fr.ctl[:0], ctlBase: ctlBase, writeSeq: 1, tbl: tbl}
+	var cs ctlState
+	cs.ctl = fr.ctl[:0]
+	cs.ctlBase = ctlBase
+	cs.seqBase = fr.seqBase
+	cs.writeSeq = fr.seqBase + 1
 	if tainting && eng.ControlFlow {
 		cs.cflow = true
 		born := fr.born
-		for i := range born {
-			born[i] = -1
-		}
 		for i := int32(0); i < df.numParams; i++ {
-			born[i] = 0
+			born[i] = cs.seqBase
 		}
 		cs.born = born
 	}
@@ -350,73 +421,193 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 		case ir.OpConst:
 			regs[in.dst] = in.imm
 			if tainting {
-				cs.set(labels, in.dst, taint.None)
+				wl := taint.None
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpMov:
 			regs[in.dst] = regs[in.a]
 			if tainting {
-				cs.set(labels, in.dst, labels[in.a])
+				wl := labels[in.a]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpAdd:
 			regs[in.dst] = regs[in.a] + regs[in.b]
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpSub:
 			regs[in.dst] = regs[in.a] - regs[in.b]
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpMul:
 			regs[in.dst] = regs[in.a] * regs[in.b]
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCmpLT:
 			regs[in.dst] = boolVal(regs[in.a] < regs[in.b])
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCmpLE:
 			regs[in.dst] = boolVal(regs[in.a] <= regs[in.b])
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCmpGT:
 			regs[in.dst] = boolVal(regs[in.a] > regs[in.b])
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCmpGE:
 			regs[in.dst] = boolVal(regs[in.a] >= regs[in.b])
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCmpEQ:
 			regs[in.dst] = boolVal(regs[in.a] == regs[in.b])
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCmpNE:
 			regs[in.dst] = boolVal(regs[in.a] != regs[in.b])
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(labels[in.a], labels[in.b]))
+				wl := labels[in.a] | labels[in.b]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpNeg:
 			regs[in.dst] = -regs[in.a]
 			if tainting {
-				cs.set(labels, in.dst, labels[in.a])
+				wl := labels[in.a]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpNot:
@@ -426,7 +617,17 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 				regs[in.dst] = 0
 			}
 			if tainting {
-				cs.set(labels, in.dst, labels[in.a])
+				wl := labels[in.a]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpLoad:
@@ -437,24 +638,41 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 			}
 			regs[in.dst] = m.heap[addr]
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(m.shadow[addr], labels[in.a]))
+				sl := taint.None
+				if addr < Value(len(m.shadow)) {
+					sl = m.shadow[addr]
+				}
+				wl := sl | labels[in.a]
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpStore:
 			addr := regs[in.a] + in.imm
-			l := taint.None
-			if tainting {
-				l = tbl.Union(labels[in.b], labels[in.a])
-				if cs.cflow {
-					l = tbl.Union(l, cs.memCtl())
-				}
-			}
 			if uint64(addr) >= uint64(len(m.heap)) {
 				m.fuel = fuel
 				return 0, taint.None, fmt.Errorf("%s: interp: store out of bounds at %d (heap %d)", df.name, addr, len(m.heap))
 			}
 			m.heap[addr] = regs[in.b]
-			m.shadow[addr] = l
+			if tainting {
+				l := labels[in.b] | labels[in.a]
+				if cs.cflow && (len(cs.ctl) > 0 || cs.ctlBase != taint.None) {
+					l |= cs.memCtl()
+				}
+				if addr < Value(len(m.shadow)) {
+					m.shadow[addr] = l
+				} else if l != taint.None {
+					m.growShadow(addr, l)
+				}
+			}
 			pc++
 		case ir.OpAlloc:
 			base, err := m.alloc(regs[in.a])
@@ -464,36 +682,68 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 			}
 			regs[in.dst] = base
 			if tainting {
-				cs.set(labels, in.dst, taint.None)
+				wl := taint.None
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpGlobal:
 			if in.aux < 0 {
 				m.fuel = fuel
-				return 0, taint.None, fmt.Errorf("%s: interp: unknown global %q", df.name, in.sym)
+				return 0, taint.None, fmt.Errorf("%s: interp: unknown global %q", df.name, df.unknownGlob[pc])
 			}
 			regs[in.dst] = m.globalBase[in.aux]
 			if tainting {
-				cs.set(labels, in.dst, taint.None)
+				wl := taint.None
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		case ir.OpCall:
 			site := &df.calls[in.aux]
 			childCtl := taint.None
-			if cs.cflow {
+			if cs.cflow && (len(cs.ctl) > 0 || cs.ctlBase != taint.None) {
 				childCtl = cs.memCtl()
 			}
-			childIdx := m.childPath(prog, pathIdx, site, tainting)
+			var childIdx int32
+			if sc := m.siteCache[site.siteID]; sc != 0 && int32(sc>>32) == pathIdx {
+				childIdx = int32(sc)
+			} else {
+				childIdx = m.childPath(prog, pathIdx, site, tainting)
+				m.siteCache[site.siteID] = int64(pathIdx)<<32 | int64(childIdx)
+			}
 			if site.callee >= 0 {
 				if int32(len(site.args)) != site.numParams {
 					m.fuel = fuel
 					return 0, taint.None, fmt.Errorf("interp: call %s with %d args, wants %d", site.sym, len(site.args), site.numParams)
 				}
 				cdf := prog.funcs[site.callee]
-				cf := m.frame(depth+1, cdf.numRegs)
-				for i, r := range site.args {
-					cf.regs[i] = regs[r]
-					cf.labels[i] = labels[r]
+				cf := m.frame(depth+1, cdf)
+				if m.labeling {
+					for i, r := range site.args {
+						cf.regs[i] = regs[r]
+						cf.labels[i] = labels[r]
+					}
+				} else {
+					for i, r := range site.args {
+						cf.regs[i] = regs[r]
+					}
 				}
 				m.fuel = fuel
 				v, l, err := m.execFast(prog, cdf, cf, childIdx, childCtl, depth+1)
@@ -504,7 +754,17 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 				fuel = m.fuel
 				regs[in.dst] = v
 				if tainting {
-					cs.set(labels, in.dst, l)
+					wl := l
+					if cs.cflow {
+						if len(cs.ctl) > 0 {
+							wl |= cs.regCtl(in.dst)
+						}
+						if cs.born[in.dst] < cs.seqBase {
+							cs.born[in.dst] = cs.writeSeq
+						}
+						cs.writeSeq++
+					}
+					labels[in.dst] = wl
 				}
 			} else {
 				ext := m.externSlots[site.externOrd]
@@ -523,9 +783,15 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 				}
 				eargs := fr.args[:n]
 				elabels := fr.argLabels[:n]
-				for i, r := range site.args {
-					eargs[i] = regs[r]
-					elabels[i] = labels[r]
+				if m.labeling {
+					for i, r := range site.args {
+						eargs[i] = regs[r]
+						elabels[i] = labels[r]
+					}
+				} else {
+					for i, r := range site.args {
+						eargs[i] = regs[r]
+					}
 				}
 				child := m.paths[childIdx]
 				if m.Tracer != nil {
@@ -550,7 +816,17 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 				}
 				regs[in.dst] = v
 				if tainting {
-					cs.set(labels, in.dst, c.RetLabel)
+					wl := c.RetLabel
+					if cs.cflow {
+						if len(cs.ctl) > 0 {
+							wl |= cs.regCtl(in.dst)
+						}
+						if cs.born[in.dst] < cs.seqBase {
+							cs.born[in.dst] = cs.writeSeq
+						}
+						cs.writeSeq++
+					}
+					labels[in.dst] = wl
 				}
 			}
 			pc++
@@ -562,6 +838,7 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 		case ir.OpRet:
 			m.fuel = fuel
 			fr.ctl = cs.ctl[:0]
+			fr.seqBase = cs.writeSeq
 			if in.a < 0 {
 				return 0, taint.None, nil
 			}
@@ -581,10 +858,10 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 				bm := &df.branches[in.aux]
 				for _, li := range bm.exits {
 					r := m.loopRec(df, path, li, eng)
-					r.Labels = tbl.Union(r.Labels, condLabel)
+					r.Labels |= condLabel
 				}
 				br := m.branchRec(df, bm.block, eng)
-				br.Labels = tbl.Union(br.Labels, condLabel)
+				br.Labels |= condLabel
 				br.IsLoopExit = br.IsLoopExit || len(bm.exits) > 0
 				if cond {
 					br.Taken++
@@ -626,7 +903,7 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 				condLabel := labels[in.a]
 				for _, li := range sw.exits {
 					r := m.loopRec(df, path, li, eng)
-					r.Labels = tbl.Union(r.Labels, condLabel)
+					r.Labels |= condLabel
 				}
 				if cs.cflow && condLabel != taint.None {
 					cs.push(int(sw.joinBlk), condLabel, len(sw.exits) > 0)
@@ -649,7 +926,17 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 			}
 			regs[in.dst] = binop(in.op, a, b)
 			if tainting {
-				cs.set(labels, in.dst, tbl.Union(la, lb))
+				wl := la | lb
+				if cs.cflow {
+					if len(cs.ctl) > 0 {
+						wl |= cs.regCtl(in.dst)
+					}
+					if cs.born[in.dst] < cs.seqBase {
+						cs.born[in.dst] = cs.writeSeq
+					}
+					cs.writeSeq++
+				}
+				labels[in.dst] = wl
 			}
 			pc++
 		}

@@ -72,7 +72,7 @@ func (c *ExternCall) RecordLibCall(eng *taint.Engine, labels taint.Label) {
 			*c.recCache = r
 		}
 	}
-	r.Labels = eng.Table.Union(r.Labels, labels)
+	r.Labels |= labels
 	r.Count++
 }
 
@@ -122,14 +122,25 @@ type Machine struct {
 	// nil the fast engine predecodes lazily and caches per machine.
 	Prog *Program
 
-	heap      []Value
-	shadow    []taint.Label
-	globals   map[string]Value
-	infoCache map[string]*funcInfo
-	active    map[string]int // recursion detection
-	fuel      int64
+	heap []Value
+	// shadow carries the heap labels for the prefix [0, len(shadow)); cells
+	// beyond it are untainted. It grows lazily to the highest address that
+	// has ever held a non-empty label (see growShadow).
+	shadow []taint.Label
+	// heapClean / shadowClean are the starts of the arenas' clean suffixes:
+	// cells at or beyond them (up to capacity) are known zero, so regions
+	// re-extended into them skip the explicit clear. A freshly made arena
+	// is clean everywhere; reuse across runs dirties the previous length.
+	heapClean   int
+	shadowClean int
+	globals     map[string]Value
+	infoCache   map[string]*funcInfo
+	active      map[string]int // recursion detection
+	fuel        int64
 
-	// Fast-engine per-run state (see fast.go).
+	// Fast-engine per-run state (see fast.go). labeling records whether the
+	// current run maintains register label banks at all (taint engine
+	// attached or argument labels supplied).
 	progOwned   *Program
 	globalBase  []Value
 	externSlots []Extern
@@ -137,6 +148,11 @@ type Machine struct {
 	frames      []*fastFrame
 	paths       []*pathNode
 	branchRecs  [][]*taint.BranchRecord
+	labeling    bool
+	// siteCache memoizes, per module-unique call site, the last
+	// (parent path, child path) resolution packed as parent<<32|child;
+	// child indices are never 0 (the root is index 0), so 0 means empty.
+	siteCache []int64
 }
 
 // NewMachine prepares a machine for module m. Externs and Taint may be set
@@ -152,12 +168,17 @@ func NewMachine(m *ir.Module) *Machine {
 // Heap returns the current heap image (externs use it for message payloads).
 func (m *Machine) Heap() []Value { return m.heap }
 
-// LoadMem reads heap cell addr with its label.
+// LoadMem reads heap cell addr with its label. Addresses beyond the lazily
+// sized shadow prefix are untainted by construction.
 func (m *Machine) LoadMem(addr Value) (Value, taint.Label, error) {
 	if addr < 0 || addr >= Value(len(m.heap)) {
 		return 0, taint.None, fmt.Errorf("interp: load out of bounds at %d (heap %d)", addr, len(m.heap))
 	}
-	return m.heap[addr], m.shadow[addr], nil
+	l := taint.None
+	if addr < Value(len(m.shadow)) {
+		l = m.shadow[addr]
+	}
+	return m.heap[addr], l, nil
 }
 
 // StoreMem writes heap cell addr with an explicit label (taint source path
@@ -167,8 +188,55 @@ func (m *Machine) StoreMem(addr, v Value, l taint.Label) error {
 		return fmt.Errorf("interp: store out of bounds at %d (heap %d)", addr, len(m.heap))
 	}
 	m.heap[addr] = v
-	m.shadow[addr] = l
+	if addr < Value(len(m.shadow)) {
+		m.shadow[addr] = l
+	} else if l != taint.None {
+		m.growShadow(addr, l)
+	}
 	return nil
+}
+
+// growShadow extends the shadow heap to cover addr and records l there.
+// The shadow tracks only the heap prefix that has ever held a non-empty
+// label: untainted runs never materialize it, and tainted runs size it to
+// the highest tainted address instead of mirroring the full heap — the
+// mask widening to uint64 made a heap-sized mirror measurably expensive
+// (allocator and GC traffic), and most heap cells never carry taint.
+func (m *Machine) growShadow(addr Value, l taint.Label) {
+	need := int(addr) + 1
+	if need <= cap(m.shadow) {
+		// Re-extending into capacity retained across runs: clear the stale
+		// region between the old and new length (the clean suffix is zero
+		// by construction).
+		old := len(m.shadow)
+		m.shadow = m.shadow[:need]
+		if clean := m.shadowClean; clean > old {
+			if clean > need {
+				clean = need
+			}
+			clear(m.shadow[old:clean])
+		}
+	} else {
+		newCap := 2 * cap(m.shadow)
+		if p := m.program(); p != nil {
+			if hint := int(p.shadowHint.Load()); hint > newCap {
+				newCap = hint
+			}
+		}
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 64 {
+			newCap = 64
+		}
+		ns := make([]taint.Label, need, newCap)
+		copy(ns, m.shadow)
+		m.shadow = ns
+	}
+	if need > m.shadowClean {
+		m.shadowClean = need
+	}
+	m.shadow[addr] = l
 }
 
 // GlobalAddr returns the base address of global name.
@@ -193,7 +261,8 @@ func (m *Machine) alloc(size Value) (Value, error) {
 	// Grow with explicit doubling: applications allocate incrementally, and
 	// the default append growth factor for large slices copies the heap far
 	// more often. Regions re-extended into retained capacity (machine or
-	// heap reuse across runs) are zeroed explicitly.
+	// heap reuse across runs) are zeroed explicitly. The shadow heap is not
+	// grown here — see growShadow.
 	if int64(cap(m.heap)) < need {
 		newCap := 2 * int64(cap(m.heap))
 		if newCap < need {
@@ -204,24 +273,44 @@ func (m *Machine) alloc(size Value) (Value, error) {
 		}
 		heap := make([]Value, len(m.heap), newCap)
 		copy(heap, m.heap)
-		m.heap = heap
-		shadow := make([]taint.Label, len(m.shadow), newCap)
-		copy(shadow, m.shadow)
-		m.shadow = shadow
-		m.heap = m.heap[:need]
-		m.shadow = m.shadow[:need]
+		m.heap = heap[:need]
+		m.heapClean = int(need)
 		return base, nil
 	}
 	m.heap = m.heap[:need]
-	m.shadow = m.shadow[:need]
-	clear(m.heap[base:])
-	clear(m.shadow[base:])
+	if clean := int64(m.heapClean); clean > base {
+		if clean > need {
+			clean = need
+		}
+		clear(m.heap[base:clean])
+	}
+	if int(need) > m.heapClean {
+		m.heapClean = int(need)
+	}
 	return base, nil
 }
 
+// program returns the predecoded program backing this machine, if any.
+func (m *Machine) program() *Program {
+	if m.Prog != nil {
+		return m.Prog
+	}
+	return m.progOwned
+}
+
 func (m *Machine) reset() error {
+	m.heapClean = len(m.heap)
+	m.shadowClean = len(m.shadow)
 	m.heap = m.heap[:0]
 	m.shadow = m.shadow[:0]
+	// Size the heap arena from the program's high-water hint so the run
+	// allocates once instead of copying through doubling growth.
+	if p := m.program(); p != nil {
+		if hint := p.heapHint.Load(); int64(cap(m.heap)) < hint {
+			m.heap = make([]Value, 0, hint)
+			m.heapClean = 0
+		}
+	}
 	m.globals = make(map[string]Value)
 	m.active = make(map[string]int)
 	m.fuel = m.Fuel
@@ -293,6 +382,9 @@ func (m *Machine) Run(entry string, args []Value, argLabels []taint.Label) (*Res
 	}
 	startFuel := m.fuel
 	v, l, err := m.call(fn, args, argLabels, taint.None, entry)
+	if p := m.program(); p != nil {
+		p.noteArenas(len(m.heap), len(m.shadow))
+	}
 	if err != nil {
 		return &Result{Instructions: startFuel - m.fuel}, err
 	}
@@ -359,7 +451,7 @@ func (m *Machine) call(fn *ir.Function, args []Value, argLabels []taint.Label, c
 		l := taint.None
 		for _, s := range ctl {
 			if !s.loopExit || (born[dst] >= 0 && born[dst] < s.openSeq) {
-				l = m.Taint.Table.Union(l, s.label)
+				l |= s.label
 			}
 		}
 		return l
@@ -369,7 +461,7 @@ func (m *Machine) call(fn *ir.Function, args []Value, argLabels []taint.Label, c
 	memCtl := func() taint.Label {
 		l := ctlBase
 		for _, s := range ctl {
-			l = m.Taint.Table.Union(l, s.label)
+			l |= s.label
 		}
 		return l
 	}
@@ -379,9 +471,7 @@ func (m *Machine) call(fn *ir.Function, args []Value, argLabels []taint.Label, c
 			return
 		}
 		if cflow {
-			if c := regCtl(dst); c != taint.None {
-				l = m.Taint.Table.Union(l, c)
-			}
+			l |= regCtl(dst)
 			if born[dst] < 0 {
 				born[dst] = writeSeq
 			}
@@ -445,15 +535,15 @@ func (m *Machine) call(fn *ir.Function, args []Value, argLabels []taint.Label, c
 				regs[in.Dst] = v
 				if tainting {
 					// Address taint flows to the loaded value as well.
-					writeLabel(in.Dst, m.Taint.Table.Union(l, labels[in.A]))
+					writeLabel(in.Dst, l|labels[in.A])
 				}
 			case ir.OpStore:
 				addr := regs[in.A] + in.Imm
 				l := taint.None
 				if tainting {
-					l = m.Taint.Table.Union(labels[in.B], labels[in.A])
+					l = labels[in.B] | labels[in.A]
 					if cflow {
-						l = m.Taint.Table.Union(l, memCtl())
+						l |= memCtl()
 					}
 				}
 				if err := m.StoreMem(addr, regs[in.B], l); err != nil {
@@ -557,7 +647,7 @@ func (m *Machine) call(fn *ir.Function, args []Value, argLabels []taint.Label, c
 				}
 				regs[in.Dst] = binop(in.Op, a, b)
 				if tainting {
-					writeLabel(in.Dst, m.Taint.Table.Union(la, lb))
+					writeLabel(in.Dst, la|lb)
 				} else {
 					writeLabel(in.Dst, taint.None)
 				}

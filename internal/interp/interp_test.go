@@ -561,3 +561,112 @@ func TestExternTaintSource(t *testing.T) {
 		t.Fatalf("main deps = %v, want [p]", got)
 	}
 }
+
+// A reused machine running with argument labels but no taint engine must not
+// leak labels from an earlier tainted run out of the pooled frames: without
+// an engine no dispatch arm writes the label bank, so recycled slots have to
+// read as None (labels move only through call-argument copies).
+func TestReuseArgLabelsWithoutEngineReadsNone(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewFunc(m, "f", 1)
+	// The returned register is not a parameter, so its label is never
+	// written when no engine is attached.
+	b.Ret(b.Add(b.Param(0), b.Const(1)))
+	b.Finish()
+
+	mach := NewMachine(m)
+	e := taint.NewEngine()
+	mach.Taint = e
+	p := e.Table.Base("p")
+	if _, err := mach.Run("f", []Value{3}, []taint.Label{p}); err != nil {
+		t.Fatal(err)
+	}
+
+	mach.Taint = nil
+	res, err := mach.Run("f", []Value{3}, []taint.Label{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != taint.None {
+		t.Fatalf("engine-less run leaked a stale label: %v", res.Label)
+	}
+}
+
+// After an aborted run (ErrFuel), stale born entries must not survive in the
+// capacity tail of a pooled frame's born bank: a later wider activation
+// would otherwise mistake them for live births and drop loop-exit control
+// labels for registers born inside the scope.
+func TestAbortScrubsBornCapacityTail(t *testing.T) {
+	m := ir.NewModule("t")
+	// wide: enough registers that the depth-1 frame's born bank has a tail
+	// beyond narrow's length; its accumulator is loop-carried under a
+	// tainted bound, so its label must include the bound parameter.
+	wb := ir.NewFunc(m, "wide", 1)
+	pad := make([]ir.Reg, 24)
+	for i := range pad {
+		pad[i] = wb.Const(int64(i))
+	}
+	acc := wb.Mov(wb.Const(0))
+	wb.For(wb.Const(0), wb.Param(0), wb.Const(1), func(i ir.Reg) {
+		wb.MovTo(acc, wb.Add(acc, wb.Const(1)))
+	})
+	wb.Ret(acc)
+	wb.Finish()
+	nb := ir.NewFunc(m, "narrow", 1)
+	nb.Ret(nb.Add(nb.Param(0), nb.Param(0)))
+	nb.Finish()
+	mb := ir.NewFunc(m, "main", 1)
+	mb.Call("wide", mb.Param(0))
+	mb.Call("narrow", mb.Param(0))
+	mb.Ret(mb.Call("wide", mb.Param(0)))
+	mb.Finish()
+
+	mach := NewMachine(m)
+	e := taint.NewEngine()
+	mach.Taint = e
+	n := e.Table.Base("n")
+
+	// Run 1: abort mid-flight so frames keep whatever born state they had.
+	mach.Fuel = 40
+	if _, err := mach.Run("main", []Value{5}, []taint.Label{n}); err != ErrFuel {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+
+	// Run 2 on the same machine: full fuel; the loop-carried accumulator of
+	// wide must carry the tainted bound through control flow.
+	mach.Fuel = 0
+	res, err := mach.Run("main", []Value{5}, []taint.Label{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Table.Has(res.Label, n) {
+		t.Fatal("stale born state dropped the loop-exit control label after an aborted run")
+	}
+}
+
+// Partial argLabels on a reused machine must zero-fill the remaining
+// parameter slots exactly like the reference engine's fresh label bank.
+func TestReusePartialArgLabelsZeroFills(t *testing.T) {
+	m := ir.NewModule("t")
+	b := ir.NewFunc(m, "g", 2)
+	b.Ret(b.Param(1))
+	b.Finish()
+
+	mach := NewMachine(m)
+	e := taint.NewEngine()
+	mach.Taint = e
+	p := e.Table.Base("p")
+	q := e.Table.Base("q")
+	if _, err := mach.Run("g", []Value{1, 2}, []taint.Label{p, q}); err != nil {
+		t.Fatal(err)
+	}
+	// Second run labels only the first parameter; the second must read as
+	// untainted, not as run 1's leftover q.
+	res, err := mach.Run("g", []Value{1, 2}, []taint.Label{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Label != taint.None {
+		t.Fatalf("partial argLabels leaked a stale label: %v", e.Table.Expand(res.Label))
+	}
+}

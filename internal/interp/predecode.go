@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"sync/atomic"
+
 	"repro/internal/cfg"
 	"repro/internal/ir"
 )
@@ -27,6 +29,28 @@ type Program struct {
 	// interpreter's map semantics).
 	globalOrd map[string]int32
 	numSites  int32
+
+	// heapHint / shadowHint are the high-water heap and shadow sizes (in
+	// cells) observed across completed runs of this program. Machines use
+	// them to size their arenas in one allocation instead of growing
+	// through doubling copies — applications allocate incrementally, and
+	// for heap-heavy workloads the repeated copy/clear traffic of a cold
+	// arena dominates the run. The hints are monotone best-effort caches
+	// (concurrent sweeps publish with atomics; a lost update only costs
+	// one more warm-up run), and a run that stays smaller merely leaves
+	// capacity unused.
+	heapHint   atomic.Int64
+	shadowHint atomic.Int64
+}
+
+// noteArenas records the arena high-water marks of a completed run.
+func (p *Program) noteArenas(heapLen, shadowLen int) {
+	if h := int64(heapLen); h > p.heapHint.Load() {
+		p.heapHint.Store(h)
+	}
+	if s := int64(shadowLen); s > p.shadowHint.Load() {
+		p.shadowHint.Store(s)
+	}
 }
 
 // Func returns the decoded function index for name, or -1.
@@ -51,7 +75,9 @@ const (
 // branch targets are instruction indices (tgt*) paired with the target block
 // id (blk*, needed to close control scopes that join there) and the loop
 // event the edge fires (evk*/evl*). aux indexes the per-function side tables
-// for calls, branches, and switches.
+// for calls, branches, and switches. The struct is deliberately pointer-free
+// (symbols live in the side tables): code arrays are the bulk of a decoded
+// program and stay off the garbage collector's scan queue this way.
 type dinstr struct {
 	op         ir.Opcode
 	evk0, evk1 uint8
@@ -61,7 +87,6 @@ type dinstr struct {
 	evl0, evl1 int32
 	aux        int32
 	imm        int64
-	sym        string
 }
 
 // dbranch is the precomputed terminator metadata of one conditional branch:
@@ -124,6 +149,15 @@ type dfunc struct {
 	branches  []dbranch
 	switches  []dswitch
 	loops     []loopMeta
+	// unknownGlob names the unresolved global referenced at a pc (error
+	// reporting only; resolved globals carry their ordinal in aux).
+	unknownGlob map[int32]string
+	// zeroRegs lists the registers that may be read before being written
+	// on some path (definite-assignment analysis, see computeZeroRegs).
+	// The IR contract is that unwritten registers read as zero, so a
+	// pooled frame only needs to scrub these — typically a handful —
+	// instead of memclr-ing the whole register and label banks per call.
+	zeroRegs []int32
 }
 
 // Predecode flattens every function of mod for the fast engine. It is pure
@@ -209,7 +243,7 @@ func (p *Program) decodeFunc(fn *ir.Function, idx int32) *dfunc {
 			d := dinstr{
 				op:  in.Op,
 				dst: int32(in.Dst), a: int32(in.A), b: int32(in.B),
-				imm: in.Imm, sym: in.Sym,
+				imm: in.Imm,
 			}
 			switch in.Op {
 			case ir.OpJmp:
@@ -269,10 +303,117 @@ func (p *Program) decodeFunc(fn *ir.Function, idx int32) *dfunc {
 					d.aux = o
 				} else {
 					d.aux = -1
+					if df.unknownGlob == nil {
+						df.unknownGlob = make(map[int32]string)
+					}
+					df.unknownGlob[int32(len(df.code))] = in.Sym
 				}
 			}
 			df.code = append(df.code, d)
 		}
 	}
+	df.zeroRegs = computeZeroRegs(fn)
 	return df
+}
+
+// computeZeroRegs returns the registers of fn that may be read before being
+// written on some execution path. It runs a definite-assignment dataflow:
+// IN[b] is the register set assigned on every path reaching b (parameters
+// are assigned at entry), and a use outside the running set marks the
+// register as needing an explicit zero when its frame slot is recycled.
+func computeZeroRegs(fn *ir.Function) []int32 {
+	nb := len(fn.Blocks)
+	words := (fn.NumRegs + 63) / 64
+	newSet := func(fill bool) []uint64 {
+		s := make([]uint64, words)
+		if fill {
+			for i := range s {
+				s[i] = ^uint64(0)
+			}
+		}
+		return s
+	}
+	in := make([][]uint64, nb)
+	for b := range in {
+		in[b] = newSet(b != 0)
+	}
+	for p := 0; p < fn.NumParams; p++ {
+		in[0][p/64] |= 1 << uint(p%64)
+	}
+
+	// defs per block and successor lists, both straight off the IR.
+	defs := make([][]uint64, nb)
+	succs := make([][]int, nb)
+	for b, blk := range fn.Blocks {
+		defs[b] = newSet(false)
+		for ii := range blk.Instrs {
+			ins := &blk.Instrs[ii]
+			if ins.Dst != ir.NoReg {
+				defs[b][int(ins.Dst)/64] |= 1 << uint(int(ins.Dst)%64)
+			}
+			switch ins.Op {
+			case ir.OpJmp:
+				succs[b] = append(succs[b], ins.Blk0)
+			case ir.OpBr:
+				succs[b] = append(succs[b], ins.Blk0, ins.Blk1)
+			case ir.OpSwitch:
+				succs[b] = append(succs[b], ins.Blk0)
+				for _, c := range ins.Cases {
+					succs[b] = append(succs[b], c.Block)
+				}
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < nb; b++ {
+			out := newSet(false)
+			copy(out, in[b])
+			for i := range out {
+				out[i] |= defs[b][i]
+			}
+			for _, s := range succs[b] {
+				for i := range out {
+					if nv := in[s][i] & out[i]; nv != in[s][i] {
+						in[s][i] = nv
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	need := newSet(false)
+	running := newSet(false)
+	for b, blk := range fn.Blocks {
+		copy(running, in[b])
+		use := func(r ir.Reg) {
+			if r == ir.NoReg {
+				return
+			}
+			if running[int(r)/64]&(1<<uint(int(r)%64)) == 0 {
+				need[int(r)/64] |= 1 << uint(int(r)%64)
+			}
+		}
+		for ii := range blk.Instrs {
+			ins := &blk.Instrs[ii]
+			use(ins.A)
+			use(ins.B)
+			for _, a := range ins.Args {
+				use(a)
+			}
+			if ins.Dst != ir.NoReg {
+				running[int(ins.Dst)/64] |= 1 << uint(int(ins.Dst)%64)
+			}
+		}
+	}
+
+	var out []int32
+	for r := 0; r < fn.NumRegs; r++ {
+		if need[r/64]&(1<<uint(r%64)) != 0 {
+			out = append(out, int32(r))
+		}
+	}
+	return out
 }

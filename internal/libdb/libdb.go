@@ -137,10 +137,10 @@ func (db *DB) execute(e Entry, c *interp.ExternCall, engine *taint.Engine, cfg R
 	if engine != nil && e.Relevant {
 		l := taint.None
 		for _, p := range e.ImplicitParams {
-			l = engine.Table.Union(l, engine.Table.Base(p))
+			l |= engine.Table.Base(p)
 		}
 		if e.CountArg >= 0 && e.CountArg < len(c.ArgLabels) {
-			l = engine.Table.Union(l, c.ArgLabels[e.CountArg])
+			l |= c.ArgLabels[e.CountArg]
 		}
 		// Route through the call-site record cache: O(1) per call under the
 		// fast engine's interned paths, map-backed under the reference one.

@@ -128,7 +128,7 @@ func (e *Engine) LibCallRec(caller, callee, callPath string) *LibCallRecord {
 // callee.
 func (e *Engine) RecordLibCall(callPath, callee string, labels Label) {
 	r := e.LibCallRec(CallerFromPath(callPath, callee), callee, callPath)
-	r.Labels = e.Table.Union(r.Labels, labels)
+	r.Labels |= labels
 	r.Count++
 }
 
@@ -140,7 +140,7 @@ func (e *Engine) FuncLibDeps() map[string][]string {
 		if k.Caller == "" {
 			continue
 		}
-		masks[k.Caller] = e.Table.Union(masks[k.Caller], r.Labels)
+		masks[k.Caller] |= r.Labels
 	}
 	out := make(map[string][]string, len(masks))
 	for fn, l := range masks {
@@ -168,7 +168,7 @@ func (e *Engine) LoopRec(fn string, loopID, header int, callPath string) *LoopRe
 // path.
 func (e *Engine) RecordLoopExit(fn string, loopID, header int, callPath string, cond Label) {
 	r := e.LoopRec(fn, loopID, header, callPath)
-	r.Labels = e.Table.Union(r.Labels, cond)
+	r.Labels |= cond
 }
 
 // RecordIteration counts one executed back edge of the loop.
@@ -198,7 +198,7 @@ func (e *Engine) BranchRec(fn string, block int) *BranchRecord {
 // position (or marks it as loop exit), with its condition label.
 func (e *Engine) RecordBranch(fn string, block int, cond Label, taken, isLoopExit bool) {
 	r := e.BranchRec(fn, block)
-	r.Labels = e.Table.Union(r.Labels, cond)
+	r.Labels |= cond
 	r.IsLoopExit = r.IsLoopExit || isLoopExit
 	if taken {
 		r.Taken++
@@ -215,7 +215,7 @@ func (e *Engine) WarnRecursion(fn string) { e.RecursionWarnings[fn] = true }
 func (e *Engine) FuncLoopDeps() map[string][]string {
 	masks := make(map[string]Label)
 	for k, r := range e.Loops {
-		masks[k.Func] = e.Table.Union(masks[k.Func], r.Labels)
+		masks[k.Func] |= r.Labels
 	}
 	out := make(map[string][]string, len(masks))
 	for fn, l := range masks {

@@ -1,163 +1,131 @@
-// Package taint implements the dynamic taint machinery of Perf-Taint: a
-// DataFlowSanitizer-style label table (16-bit identifiers, union tree with
-// deduplication), plus the recording side of the analysis — loop-exit sinks
-// with call-path context, branch coverage, and iteration counts. The
-// mechanical propagation of labels through instructions is performed by the
-// interpreter (internal/interp), mirroring how DFSan's transformation pass
-// instruments each instruction while its runtime manages labels.
+// Package taint implements the dynamic taint machinery of Perf-Taint. A
+// label IS the set of input parameters it denotes, carried as a uint64
+// bitmask over base-parameter ordinals — the representation jump DFSan's
+// "fast labels" made: no label table on the propagation path, no union
+// tree, no memoization. Joining two labels is a single bitwise OR, executed
+// inline by the interpreter (internal/interp) for every instruction of a
+// tainted run. The Table that remains is a boundary concern: it registers
+// parameter names at Prepare time (assigning each a bit) and expands masks
+// back to sorted name lists when the census and FuncDeps are rendered.
 package taint
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
 
-// Label identifies a set of input parameters. Label 0 is "untainted".
-// As in DataFlowSanitizer, identifiers are 16 bits wide, bounding a run at
-// 65535 distinct labels.
-type Label uint16
+// Label identifies a set of input parameters: bit i set means the label
+// contains the base parameter with ordinal i. Label 0 is "untainted".
+// Equal parameter sets are equal labels by construction — the canonical
+// identity the old table-allocated representation had to maintain with a
+// dedup map is now structural.
+type Label uint64
 
 // None is the empty (untainted) label.
 const None Label = 0
 
-// MaxBaseLabels bounds the number of distinct parameter names; expansions
-// are stored as 64-bit masks for O(1) union deduplication, which covers all
-// realistic modeling setups (the paper's apps use at most nine parameters).
+// MaxBaseLabels bounds the number of distinct parameter names: one bit of
+// the mask per parameter, which covers all realistic modeling setups (the
+// paper's apps use at most nine parameters). Specs declaring more are
+// rejected at core.Prepare time with a TooManyLabelsError.
 const MaxBaseLabels = 64
 
-// Table allocates and joins labels. Each non-base label is the union of two
-// existing labels, forming the tree-like structure described in Section 5.2;
-// the table additionally verifies that operands do not represent an
-// equivalent combination before allocating a new identifier.
+// TooManyLabelsError reports an attempt to register more distinct taint
+// parameters than the 64-bit mask representation can carry.
+type TooManyLabelsError struct {
+	// Declared is the number of distinct base labels requested.
+	Declared int
+}
+
+func (e *TooManyLabelsError) Error() string {
+	return fmt.Sprintf("taint: %d distinct taint parameters exceed the %d-parameter mask budget (taint.MaxBaseLabels); drop parameters from the spec or split the analysis into separate parameter sets", e.Declared, MaxBaseLabels)
+}
+
+// Union joins two labels: the parameter set of the result is the union of
+// the operand sets. This is the whole union algebra — commutative,
+// associative, idempotent, with None as identity — and compiles to one OR
+// instruction; the interpreter hot loops apply the operator directly.
+func Union(a, b Label) Label { return a | b }
+
+// Has reports whether label l includes base label base. It mirrors the old
+// table semantics exactly: the empty label includes nothing.
+func (l Label) Has(base Label) bool {
+	if l == None {
+		return false
+	}
+	return l&base == base
+}
+
+// Table maps parameter names to base labels and back. It is pure boundary
+// machinery — registration when a run's sources are configured, expansion
+// when reports are rendered — and never touched by label propagation.
 type Table struct {
-	names   []string         // base label names, index = base ordinal
-	byName  map[string]Label // base name -> label id
-	masks   []uint64         // label id -> expansion bitmask over base ordinals
-	parents [][2]Label       // label id -> the two joined labels (0,0 for base)
-	byMask  map[uint64]Label // expansion -> canonical label id
-	baseOrd map[Label]int    // base label id -> ordinal
-	// cache[a][b] (a < b) memoizes Union results as a dense, lazily grown
-	// table (0 = not yet computed; a real union of distinct non-empty
-	// labels is never None). Union is the single hottest operation of a
-	// tainted run — every instruction joins its operand labels — and a
-	// direct array probe beats hashing a map key by an order of magnitude.
-	cache [][]Label
+	names  []string         // ordinal -> base name
+	byName map[string]Label // base name -> single-bit label
 }
 
-// NewTable returns an empty label table.
+// NewTable returns an empty name registry.
 func NewTable() *Table {
-	t := &Table{
-		byName:  make(map[string]Label),
-		byMask:  make(map[uint64]Label),
-		baseOrd: make(map[Label]int),
-	}
-	// Reserve id 0 for the empty label.
-	t.names = append(t.names, "")
-	t.masks = append(t.masks, 0)
-	t.parents = append(t.parents, [2]Label{})
-	t.cache = append(t.cache, nil)
-	t.byMask[0] = None
-	return t
+	return &Table{byName: make(map[string]Label)}
 }
 
-func (t *Table) alloc(name string, mask uint64, p0, p1 Label) Label {
-	id := Label(len(t.masks))
-	if int(id) != len(t.masks) {
-		panic("taint: label identifier space (16 bit) exhausted")
-	}
-	t.names = append(t.names, name)
-	t.masks = append(t.masks, mask)
-	t.parents = append(t.parents, [2]Label{p0, p1})
-	t.cache = append(t.cache, nil)
-	return id
-}
-
-// Base returns the label for parameter name, allocating it on first use.
+// Base returns the single-bit label for parameter name, allocating the next
+// ordinal on first use. Specs are validated against MaxBaseLabels at
+// core.Prepare time; exhausting the ordinal space here is a programming
+// error, hence the panic.
 func (t *Table) Base(name string) Label {
 	if l, ok := t.byName[name]; ok {
 		return l
 	}
-	ord := len(t.byName)
+	ord := len(t.names)
 	if ord >= MaxBaseLabels {
-		panic(fmt.Sprintf("taint: more than %d base labels", MaxBaseLabels))
+		panic((&TooManyLabelsError{Declared: ord + 1}).Error())
 	}
-	mask := uint64(1) << uint(ord)
-	l := t.alloc(name, mask, 0, 0)
+	l := Label(1) << uint(ord)
+	t.names = append(t.names, name)
 	t.byName[name] = l
-	t.byMask[mask] = l
-	t.baseOrd[l] = ord
 	return l
 }
 
-// NumLabels returns the number of allocated labels including label 0.
-func (t *Table) NumLabels() int { return len(t.masks) }
+// TryBase is Base with the overflow reported as a TooManyLabelsError
+// instead of a panic, for validation boundaries.
+func (t *Table) TryBase(name string) (Label, error) {
+	if _, ok := t.byName[name]; !ok && len(t.names) >= MaxBaseLabels {
+		return None, &TooManyLabelsError{Declared: len(t.names) + 1}
+	}
+	return t.Base(name), nil
+}
 
 // NumBase returns the number of distinct base labels.
 func (t *Table) NumBase() int { return len(t.byName) }
 
-// Union joins two labels, reusing an existing identifier when the combined
-// parameter set already has one (the deduplication step of Section 5.2).
-func (t *Table) Union(a, b Label) Label {
-	if a == b || b == None {
-		return a
-	}
-	if a == None {
-		return b
-	}
-	if a > b {
-		a, b = b, a
-	}
-	row := t.cache[a]
-	if int(b) < len(row) {
-		if l := row[b]; l != None {
-			return l
-		}
-	}
-	mask := t.masks[a] | t.masks[b]
-	l, ok := t.byMask[mask]
-	if !ok {
-		l = t.alloc("", mask, a, b)
-		t.byMask[mask] = l
-	}
-	if int(b) >= len(row) {
-		grown := make([]Label, int(b)+1)
-		copy(grown, row)
-		row = grown
-		t.cache[a] = row
-	}
-	row[b] = l
-	return l
-}
+// Union joins two labels. Kept as a method for boundary call sites; the
+// hot paths use the | operator directly.
+func (t *Table) Union(a, b Label) Label { return a | b }
 
 // Has reports whether label l includes base label base.
-func (t *Table) Has(l, base Label) bool {
-	if l == None {
-		return false
-	}
-	return t.masks[l]&t.masks[base] == t.masks[base]
-}
+func (t *Table) Has(l, base Label) bool { return l.Has(base) }
 
-// Mask returns the base-ordinal bitmask of l.
-func (t *Table) Mask(l Label) uint64 { return t.masks[l] }
+// Mask returns l's raw bitmask over base ordinals — the label value itself
+// under the mask-native representation.
+func (t *Table) Mask(l Label) uint64 { return uint64(l) }
 
-// Parents returns the two labels whose union produced l; base labels and
-// label 0 return (0, 0).
-func (t *Table) Parents(l Label) (Label, Label) {
-	p := t.parents[l]
-	return p[0], p[1]
-}
-
-// Expand returns the sorted parameter names contained in l.
+// Expand returns the sorted parameter names contained in l. Bits beyond the
+// registered ordinals are ignored, so an over-approximated mask still
+// renders only known parameters.
 func (t *Table) Expand(l Label) []string {
 	if l == None {
 		return nil
 	}
-	mask := t.masks[l]
+	mask := uint64(l)
 	var out []string
-	for name, bl := range t.byName {
-		if mask&t.masks[bl] != 0 {
-			out = append(out, name)
+	for mask != 0 {
+		ord := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		if ord < len(t.names) {
+			out = append(out, t.names[ord])
 		}
 	}
 	sort.Strings(out)

@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -18,6 +19,9 @@ func TestBaseLabelsDistinctAndStable(t *testing.T) {
 	if tb.NumBase() != 2 {
 		t.Fatalf("NumBase = %d, want 2", tb.NumBase())
 	}
+	if p != 1 || size != 2 {
+		t.Fatalf("base labels must be single bits in registration order, got %b %b", p, size)
+	}
 }
 
 func TestUnionBasics(t *testing.T) {
@@ -25,38 +29,40 @@ func TestUnionBasics(t *testing.T) {
 	p := tb.Base("p")
 	s := tb.Base("size")
 
-	if got := tb.Union(p, None); got != p {
+	if got := Union(p, None); got != p {
 		t.Fatalf("Union(p, None) = %d, want %d", got, p)
 	}
-	if got := tb.Union(None, s); got != s {
+	if got := Union(None, s); got != s {
 		t.Fatalf("Union(None, s) = %d, want %d", got, s)
 	}
-	ps := tb.Union(p, s)
+	ps := Union(p, s)
 	if ps == p || ps == s || ps == None {
 		t.Fatal("union of distinct labels must be a fresh label")
 	}
-	if !tb.Has(ps, p) || !tb.Has(ps, s) {
+	if !ps.Has(p) || !ps.Has(s) {
 		t.Fatal("union must include both bases")
+	}
+	if tb.Union(p, s) != ps {
+		t.Fatal("Table.Union must agree with the package operator")
 	}
 }
 
-func TestUnionDeduplicatesEquivalentCombinations(t *testing.T) {
+// Equivalent combinations must be the same label value — under masks the
+// canonical identity the old table enforced with a dedup map is structural.
+func TestUnionCanonicalizesEquivalentCombinations(t *testing.T) {
 	tb := NewTable()
 	p := tb.Base("p")
 	s := tb.Base("size")
 	n := tb.Base("niter")
 
-	a := tb.Union(tb.Union(p, s), n)
-	bl := tb.Union(tb.Union(n, p), s)
-	c := tb.Union(p, tb.Union(s, n))
+	a := Union(Union(p, s), n)
+	bl := Union(Union(n, p), s)
+	c := Union(p, Union(s, n))
 	if a != bl || bl != c {
-		t.Fatalf("equivalent combinations got distinct ids: %d %d %d", a, bl, c)
+		t.Fatalf("equivalent combinations got distinct labels: %d %d %d", a, bl, c)
 	}
-	// Re-unioning must not allocate.
-	before := tb.NumLabels()
-	_ = tb.Union(a, s)
-	if tb.NumLabels() != before {
-		t.Fatal("Union(a, subset) allocated a new label")
+	if Union(a, s) != a {
+		t.Fatal("Union(a, subset) must be a no-op")
 	}
 }
 
@@ -64,7 +70,7 @@ func TestExpandSortsNames(t *testing.T) {
 	tb := NewTable()
 	z := tb.Base("z")
 	a := tb.Base("a")
-	u := tb.Union(z, a)
+	u := Union(z, a)
 	got := tb.Expand(u)
 	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
 		t.Fatalf("Expand = %v, want [a z]", got)
@@ -74,20 +80,6 @@ func TestExpandSortsNames(t *testing.T) {
 	}
 	if tb.Expand(None) != nil {
 		t.Fatal("Expand(None) should be nil")
-	}
-}
-
-func TestParentsTreeStructure(t *testing.T) {
-	tb := NewTable()
-	p := tb.Base("p")
-	s := tb.Base("size")
-	u := tb.Union(p, s)
-	a, b := tb.Parents(u)
-	if a != p || b != s {
-		t.Fatalf("Parents(u) = (%d,%d), want (%d,%d)", a, b, p, s)
-	}
-	if a, b := tb.Parents(p); a != 0 || b != 0 {
-		t.Fatal("base label should have zero parents")
 	}
 }
 
@@ -102,8 +94,36 @@ func TestLabelOf(t *testing.T) {
 	}
 }
 
+func TestBaseLimit(t *testing.T) {
+	tb := NewTable()
+	for i := 0; i < MaxBaseLabels; i++ {
+		tb.Base(string(rune('!' + i)))
+	}
+	if _, err := tb.TryBase("overflow"); err == nil {
+		t.Fatal("TryBase beyond MaxBaseLabels must fail")
+	} else {
+		var tme *TooManyLabelsError
+		if !errors.As(err, &tme) {
+			t.Fatalf("want TooManyLabelsError, got %T: %v", err, err)
+		}
+		if tme.Declared != MaxBaseLabels+1 {
+			t.Fatalf("Declared = %d, want %d", tme.Declared, MaxBaseLabels+1)
+		}
+	}
+	// Registered names keep working at the limit.
+	if _, err := tb.TryBase(string(rune('!'))); err != nil {
+		t.Fatalf("TryBase of an existing name must not fail: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Base beyond MaxBaseLabels must panic")
+		}
+	}()
+	tb.Base("overflow")
+}
+
 // Property: union is commutative, associative, and idempotent over a pool of
-// base labels, with identical canonical identifiers for equal sets.
+// base labels, with identical canonical values for equal sets.
 func TestUnionAlgebraProperties(t *testing.T) {
 	tb := NewTable()
 	names := []string{"p", "size", "nx", "ny", "nz", "nt", "steps", "niter"}
@@ -114,15 +134,15 @@ func TestUnionAlgebraProperties(t *testing.T) {
 	pick := func(i uint8) Label { return base[int(i)%len(base)] }
 
 	comm := func(i, j uint8) bool {
-		return tb.Union(pick(i), pick(j)) == tb.Union(pick(j), pick(i))
+		return Union(pick(i), pick(j)) == Union(pick(j), pick(i))
 	}
 	assoc := func(i, j, k uint8) bool {
-		l := tb.Union(tb.Union(pick(i), pick(j)), pick(k))
-		r := tb.Union(pick(i), tb.Union(pick(j), pick(k)))
+		l := Union(Union(pick(i), pick(j)), pick(k))
+		r := Union(pick(i), Union(pick(j), pick(k)))
 		return l == r
 	}
 	idem := func(i uint8) bool {
-		return tb.Union(pick(i), pick(i)) == pick(i)
+		return Union(pick(i), pick(i)) == pick(i)
 	}
 	for name, prop := range map[string]interface{}{"comm": comm, "assoc": assoc, "idem": idem} {
 		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
@@ -136,13 +156,18 @@ func TestMaskSubsetProperty(t *testing.T) {
 	a := tb.Base("a")
 	b := tb.Base("b")
 	c := tb.Base("c")
-	u := tb.Union(a, tb.Union(b, c))
+	u := Union(a, Union(b, c))
 	for _, l := range []Label{a, b, c} {
 		if tb.Mask(u)&tb.Mask(l) != tb.Mask(l) {
 			t.Fatalf("mask of union missing base %d", l)
 		}
 	}
-	if tb.Has(a, b) {
+	if a.Has(b) {
 		t.Fatal("disjoint bases must not include each other")
+	}
+	if None.Has(None) || u.Has(None) != true {
+		// Has(l, None) is true for non-empty l (the empty set is a subset),
+		// false for the empty label — the old table's exact contract.
+		t.Fatal("Has(None) contract changed")
 	}
 }

@@ -1,0 +1,170 @@
+package taint
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// modelTable reimplements the pre-mask label algebra — the DFSan-style
+// id-allocating table with union-by-set deduplication — as the executable
+// specification the mask kernel must match. Labels here are table indices;
+// each index owns an explicit parameter-name set.
+type modelTable struct {
+	sets   []map[string]bool // id -> parameter set (id 0 = empty)
+	byName map[string]int
+}
+
+func newModelTable() *modelTable {
+	return &modelTable{sets: []map[string]bool{{}}, byName: make(map[string]int)}
+}
+
+func (m *modelTable) base(name string) int {
+	if id, ok := m.byName[name]; ok {
+		return id
+	}
+	id := len(m.sets)
+	m.sets = append(m.sets, map[string]bool{name: true})
+	m.byName[name] = id
+	return id
+}
+
+func (m *modelTable) union(a, b int) int {
+	set := make(map[string]bool, len(m.sets[a])+len(m.sets[b]))
+	for n := range m.sets[a] {
+		set[n] = true
+	}
+	for n := range m.sets[b] {
+		set[n] = true
+	}
+	// Dedup: reuse the id of an existing equivalent set.
+	for id, s := range m.sets {
+		if len(s) == len(set) {
+			same := true
+			for n := range set {
+				if !s[n] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return id
+			}
+		}
+	}
+	m.sets = append(m.sets, set)
+	return len(m.sets) - 1
+}
+
+func (m *modelTable) expand(id int) []string {
+	if len(m.sets[id]) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m.sets[id]))
+	for n := range m.sets[id] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *modelTable) has(id, base int) bool {
+	if len(m.sets[id]) == 0 {
+		return false
+	}
+	for n := range m.sets[base] {
+		if !m.sets[id][n] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMaskKernelMatchesTableAlgebra drives the mask kernel and the old-table
+// model through the same random union/base programs and requires identical
+// observable semantics: expansion sets, Has verdicts, and canonical equality
+// (two labels are the same value iff the model says the sets are the same id).
+func TestMaskKernelMatchesTableAlgebra(t *testing.T) {
+	names := []string{"p", "size", "regions", "balance", "cost", "iters",
+		"nx", "ny", "nz", "nt", "steps", "warms", "trajecs", "beta"}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed*2654435761 + 17))
+		tb := NewTable()
+		model := newModelTable()
+
+		masks := []Label{None}
+		ids := []int{0}
+		for step := 0; step < 400; step++ {
+			switch r.Intn(3) {
+			case 0: // register / reuse a base
+				n := names[r.Intn(len(names))]
+				masks = append(masks, tb.Base(n))
+				ids = append(ids, model.base(n))
+			default: // union two existing labels
+				i, j := r.Intn(len(masks)), r.Intn(len(masks))
+				masks = append(masks, Union(masks[i], masks[j]))
+				ids = append(ids, model.union(ids[i], ids[j]))
+			}
+			k := len(masks) - 1
+			if got, want := tb.Expand(masks[k]), model.expand(ids[k]); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d: Expand = %v, model says %v", seed, step, got, want)
+			}
+		}
+		// Canonical equality: mask equality must coincide with model set
+		// identity, and Has must agree against every base label.
+		for i := range masks {
+			for j := range masks {
+				if (masks[i] == masks[j]) != (ids[i] == ids[j]) {
+					t.Fatalf("seed %d: labels %d,%d disagree on identity", seed, i, j)
+				}
+			}
+			for _, n := range names {
+				if bl := tb.LabelOf(n); bl != None {
+					if masks[i].Has(bl) != model.has(ids[i], model.byName[n]) {
+						t.Fatalf("seed %d: Has(%v, %s) diverges from model", seed, tb.Expand(masks[i]), n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzMaskAlgebra checks the union laws on arbitrary 64-bit masks — under
+// the mask-native representation every uint64 is a well-formed label, so the
+// laws must hold unconditionally, not just for table-built values.
+func FuzzMaskAlgebra(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2), uint64(4))
+	f.Add(uint64(0xffffffffffffffff), uint64(1), uint64(0x8000000000000000))
+	f.Add(uint64(0b1010), uint64(0b0110), uint64(0b0011))
+	f.Fuzz(func(t *testing.T, x, y, z uint64) {
+		a, b, c := Label(x), Label(y), Label(z)
+		if Union(a, b) != Union(b, a) {
+			t.Fatal("union not commutative")
+		}
+		if Union(Union(a, b), c) != Union(a, Union(b, c)) {
+			t.Fatal("union not associative")
+		}
+		if Union(a, a) != a {
+			t.Fatal("union not idempotent")
+		}
+		if Union(a, None) != a {
+			t.Fatal("None not the identity")
+		}
+		u := Union(a, b)
+		if a != None && !u.Has(a) {
+			t.Fatal("union must contain its left operand")
+		}
+		if u != None && !u.Has(None) {
+			t.Fatal("the empty set is a subset of any non-empty label")
+		}
+		if a != None && a.Has(b) && b.Has(a) && a != b {
+			t.Fatal("mutual inclusion of non-empty labels implies equality")
+		}
+		// Subset characterization: Has(u, a) iff a|u == u, for non-empty u.
+		if u != None && u.Has(c) != (c|u == u) {
+			t.Fatal("Has disagrees with the mask subset characterization")
+		}
+	})
+}
