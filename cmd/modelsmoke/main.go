@@ -1,0 +1,146 @@
+// Command modelsmoke compares a generated model report against its
+// golden snapshot modulo float tolerance: the textual structure (table
+// layout, function names, model term shapes, attribution statuses) must
+// match exactly, while numeric literals may drift within a relative
+// tolerance. CI runs it after `go run ./examples/modeling` so the
+// end-to-end model extraction is gated without making the gate flaky on
+// benign least-squares jitter across Go releases or architectures.
+//
+//	go run ./examples/modeling -md report.md
+//	go run ./cmd/modelsmoke -got report.md -golden internal/modelreg/testdata/lulesh_report.golden.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("modelsmoke: ")
+	got := flag.String("got", "", "generated report")
+	golden := flag.String("golden", "", "golden snapshot to compare against")
+	tol := flag.Float64("tol", 2e-2, "relative tolerance for numeric literals")
+	flag.Parse()
+	if *got == "" || *golden == "" {
+		log.Fatal("usage: modelsmoke -got FILE -golden FILE [-tol 2e-2]")
+	}
+	gotRaw, err := os.ReadFile(*got)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantRaw, err := os.ReadFile(*golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := compare(string(wantRaw), string(gotRaw), *tol); err != nil {
+		log.Fatalf("report drifted from %s:\n%v\n(re-bless with `go test ./internal/modelreg -run Golden -update` if intentional)",
+			*golden, err)
+	}
+	log.Printf("report matches %s within tolerance %g", *golden, *tol)
+}
+
+// compare checks got against want line by line: text must be identical,
+// numbers within relative tolerance.
+func compare(want, got string, tol float64) error {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	if len(wl) != len(gl) {
+		return fmt.Errorf("line count differs: want %d, got %d", len(wl), len(gl))
+	}
+	for i := range wl {
+		if err := compareLine(wl[i], gl[i], tol); err != nil {
+			return fmt.Errorf("line %d: %v\n  want: %s\n  got:  %s", i+1, err, wl[i], gl[i])
+		}
+	}
+	return nil
+}
+
+func compareLine(want, got string, tol float64) error {
+	wt, wn := tokenize(want)
+	gt, gn := tokenize(got)
+	if wt != gt {
+		return fmt.Errorf("text differs")
+	}
+	if len(wn) != len(gn) {
+		return fmt.Errorf("numeric token count differs (%d vs %d)", len(wn), len(gn))
+	}
+	for i := range wn {
+		if !close(wn[i], gn[i], tol) {
+			return fmt.Errorf("number %d: %g vs %g beyond tolerance", i+1, wn[i], gn[i])
+		}
+	}
+	return nil
+}
+
+// close reports a relative match, with an absolute floor for values
+// near zero (fit constants can legitimately hover around ±1e-9).
+func close(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-9 {
+		return d < 1e-9
+	}
+	return d/scale <= tol
+}
+
+// tokenize splits a line into its textual skeleton (with every numeric
+// literal replaced by #) and the list of numbers in order.
+func tokenize(s string) (string, []float64) {
+	var text strings.Builder
+	var nums []float64
+	i := 0
+	for i < len(s) {
+		j := scanNumber(s, i)
+		if j > i {
+			v, err := strconv.ParseFloat(s[i:j], 64)
+			if err == nil {
+				nums = append(nums, v)
+				text.WriteByte('#')
+				i = j
+				continue
+			}
+		}
+		text.WriteByte(s[i])
+		i++
+	}
+	return text.String(), nums
+}
+
+// scanNumber returns the end of a float literal starting at i, or i
+// when none starts there. A digit must lead (signs are treated as text:
+// model expressions use "+ -2.7e-06" where the sign is an operator).
+func scanNumber(s string, i int) int {
+	j := i
+	digits := func() bool {
+		start := j
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		return j > start
+	}
+	if !digits() {
+		return i
+	}
+	if j < len(s) && s[j] == '.' {
+		j++
+		digits()
+	}
+	if j < len(s) && (s[j] == 'e' || s[j] == 'E') {
+		k := j + 1
+		if k < len(s) && (s[k] == '+' || s[k] == '-') {
+			k++
+		}
+		save := j
+		j = k
+		if !digits() {
+			j = save
+		}
+	}
+	return j
+}

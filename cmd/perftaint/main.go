@@ -12,13 +12,23 @@
 //	perftaint submit -addr ... -app milc -async    # prints a queued job
 //	perftaint job -addr ... -id job-1 -wait        # poll it to completion
 //	perftaint stats -addr http://host:7070
+//
+// The model subcommand runs the end-to-end sweep→fit pipeline (locally
+// or against a daemon) and emits the model set as JSON; report renders
+// that JSON as Markdown and/or self-contained HTML:
+//
+//	perftaint model -config examples/modeling/lulesh.json | perftaint report
+//	perftaint model -config ... -addr http://host:7070 > models.json
+//	perftaint report -in models.json -html report.html > report.md
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -31,6 +41,8 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/modelreg"
+	"repro/internal/runner"
 	"repro/internal/service"
 )
 
@@ -59,11 +71,17 @@ func main() {
 		case "job":
 			runJob(os.Args[2:])
 			return
+		case "model":
+			runModel(os.Args[2:])
+			return
+		case "report":
+			runReport(os.Args[2:])
+			return
 		default:
 			// Anything that isn't a flag is a mistyped subcommand; falling
 			// through to a multi-second local analysis would bury the typo.
 			if !strings.HasPrefix(os.Args[1], "-") {
-				log.Fatalf("unknown subcommand %q (want serve, submit, job, or stats; "+
+				log.Fatalf("unknown subcommand %q (want serve, submit, job, model, report, or stats; "+
 					"flags alone run a local analysis)", os.Args[1])
 			}
 		}
@@ -150,6 +168,7 @@ func runServe(args []string) {
 	cacheEntries := fs.Int("cache-entries", 16, "PreparedCache capacity")
 	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 	queueDepth := fs.Int("queue-depth", 1024, "maximum queued jobs")
+	modelEntries := fs.Int("model-entries", 16, "model registry capacity")
 	fs.Parse(args)
 
 	srv := service.NewServer(service.Options{
@@ -157,6 +176,7 @@ func runServe(args []string) {
 		CacheEntries: *cacheEntries,
 		JobTimeout:   *jobTimeout,
 		QueueDepth:   *queueDepth,
+		ModelEntries: *modelEntries,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -266,6 +286,143 @@ func runJob(args []string) {
 	if *wait && info.Status != service.StatusDone {
 		os.Exit(1)
 	}
+}
+
+// runModel runs the end-to-end model extraction described by a JSON
+// config file — sweep the design, stream the results into the
+// incremental fitter, emit the ranked model set as JSON on stdout —
+// either locally (default) or through a daemon's POST /v1/models.
+// Progress goes to stderr so the JSON artifact stays pipeable into
+// `perftaint report`.
+func runModel(args []string) {
+	fs := flag.NewFlagSet("perftaint model", flag.ExitOnError)
+	cfgPath := fs.String("config", "", "modeling config JSON (see examples/modeling/lulesh.json)")
+	addr := fs.String("addr", "", "daemon base URL; empty runs the sweep locally")
+	workers := fs.Int("workers", 0, "local sweep/fit concurrency (0 = GOMAXPROCS)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(args)
+	if *cfgPath == "" {
+		log.Fatal("model requires -config FILE (a modelreg.Config JSON document)")
+	}
+	raw, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg modelreg.Config
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		log.Fatalf("parse %s: %v", *cfgPath, err)
+	}
+	progress := func(ev modelreg.Event) {
+		if *quiet {
+			return
+		}
+		switch ev.Type {
+		case "taint":
+			log.Printf("taint run done: %d of %d functions relevant; sweeping %d design points",
+				ev.Relevant, ev.Functions, ev.Total)
+		case "point":
+			log.Printf("point %d/%d done (%d instructions)", ev.Points, ev.Total, ev.Instructions)
+		case "refit":
+			log.Printf("refit at %d/%d points: %d models fit, %d failed",
+				ev.Points, ev.Total, ev.Fitted, ev.Failed)
+		}
+	}
+
+	if *addr != "" {
+		req, err := modelRequest(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := service.NewClient(*addr).ModelsStream(context.Background(), req, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet && resp.Cached {
+			log.Printf("served from the model registry (key %s)", resp.Key)
+		}
+		emitJSON(resp.ModelSet)
+		return
+	}
+
+	app, ok := service.BundledApps()[cfg.App]
+	if !ok {
+		log.Fatalf("unknown app %q in %s (want lulesh or milc)", cfg.App, *cfgPath)
+	}
+	// One shared overlay across CLI, daemon, and examples — local and
+	// remote runs must compute identical design digests.
+	cfg = service.ResolveModelDefaults(app, cfg)
+	prep, err := core.Prepare(app.New())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := modelreg.Extract(context.Background(), &runner.Runner{Workers: *workers}, prep, cfg, progress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emitJSON(ms)
+}
+
+// modelRequest converts a local modeling config into the wire request.
+func modelRequest(cfg modelreg.Config) (service.ModelRequest, error) {
+	req := service.ModelRequest{
+		App:      cfg.App,
+		Params:   cfg.Params,
+		Defaults: cfg.Defaults,
+		Reps:     cfg.Reps,
+		Seed:     cfg.Seed,
+		RelNoise: cfg.RelNoise,
+		Batch:    cfg.Batch,
+		Metrics:  cfg.Metrics,
+	}
+	if req.App == "" {
+		return req, fmt.Errorf("modeling config requires \"app\" when submitting to a daemon")
+	}
+	for _, ax := range cfg.Axes {
+		req.Axes = append(req.Axes, service.SweepAxis{Param: ax.Param, Values: ax.Values})
+	}
+	return req, nil
+}
+
+// runReport renders a model-set JSON document (stdin or -in) as
+// Markdown on stdout and, optionally, as a self-contained HTML file.
+func runReport(args []string) {
+	fs := flag.NewFlagSet("perftaint report", flag.ExitOnError)
+	in := fs.String("in", "", "model-set JSON file (default: stdin)")
+	htmlOut := fs.String("html", "", "also write a self-contained HTML report to this file")
+	fs.Parse(args)
+	var raw []byte
+	var err error
+	if *in != "" {
+		raw, err = os.ReadFile(*in)
+	} else {
+		raw, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Accept either the bare model set (`perftaint model` output) or the
+	// daemon's response envelope ({"model_set": {...}}).
+	var env struct {
+		ModelSet *modelreg.ModelSet `json:"model_set"`
+	}
+	var ms modelreg.ModelSet
+	if err := json.Unmarshal(raw, &env); err == nil && env.ModelSet != nil {
+		ms = *env.ModelSet
+	} else if err := json.Unmarshal(raw, &ms); err != nil {
+		log.Fatalf("parse model set: %v (pipe `perftaint model` output or pass -in)", err)
+	}
+	if len(ms.Functions) == 0 {
+		log.Fatal("model set is empty (is the input really `perftaint model` or /v1/models output?)")
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(modelreg.RenderHTML(&ms)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote HTML report to %s", *htmlOut)
+	}
+	fmt.Print(modelreg.RenderMarkdown(&ms))
 }
 
 // runStats prints the daemon's cache and scheduler counters.

@@ -5,8 +5,10 @@
 //	perftaintd -addr :7070 -workers 8 -cache-entries 16
 //
 // Endpoints: POST /v1/analyze, POST /v1/sweep (NDJSON stream),
-// GET /v1/jobs/{id}, GET /v1/stats, GET /healthz. See internal/service
-// for the wire schema and `perftaint submit` for a ready-made client.
+// POST /v1/models (sweep+fit with a content-addressed model registry),
+// GET /v1/models/{key}, GET /v1/jobs/{id}, GET /v1/stats, GET /healthz.
+// See internal/service for the wire schema and `perftaint submit` /
+// `perftaint model` for ready-made clients.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 16, "PreparedCache capacity (distinct spec contents)")
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 	queueDepth := flag.Int("queue-depth", 1024, "maximum queued jobs")
+	modelEntries := flag.Int("model-entries", 16, "model registry capacity (distinct spec+design contents)")
 	pprofAddr := flag.String("pprof", "", "optional debug listen address for net/http/pprof (e.g. 127.0.0.1:6060); disabled when empty")
 	flag.Parse()
 
@@ -51,6 +54,7 @@ func main() {
 		CacheEntries: *cacheEntries,
 		QueueDepth:   *queueDepth,
 		JobTimeout:   *jobTimeout,
+		ModelEntries: *modelEntries,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -84,7 +84,9 @@ const NoiseCutoff = 0.1
 // Reliable reports whether all points pass the CoV filter.
 func (d *Dataset) Reliable() bool { return d.MaxCoV() <= NoiseCutoff }
 
-// Validate checks that every point provides every declared parameter.
+// Validate checks that every point provides every declared parameter and
+// that no measurement or parameter value is NaN or infinite — a single
+// non-finite value would silently poison every normal-equation solve.
 func (d *Dataset) Validate() error {
 	if len(d.Points) == 0 {
 		return fmt.Errorf("extrap: empty dataset")
@@ -93,9 +95,18 @@ func (d *Dataset) Validate() error {
 		if len(p.Values) == 0 {
 			return fmt.Errorf("extrap: point %d has no measurements", i)
 		}
+		for _, v := range p.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("extrap: point %d has non-finite measurement %v", i, v)
+			}
+		}
 		for _, name := range d.ParamNames {
-			if _, ok := p.Params[name]; !ok {
+			v, ok := p.Params[name]
+			if !ok {
 				return fmt.Errorf("extrap: point %d missing parameter %q", i, name)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("extrap: point %d has non-finite value %v for parameter %q", i, v, name)
 			}
 		}
 	}

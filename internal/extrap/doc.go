@@ -1,0 +1,15 @@
+// Package extrap reimplements the Extra-P empirical performance modeler
+// used as the black-box half of Perf-Taint: the performance model normal
+// form (PMNF, Equation 1), its default search space, least-squares
+// hypothesis fitting, the single-parameter model search, and the
+// multi-parameter heuristic that combines the best single-parameter models
+// (Calotoiu et al.). Model selection uses leave-one-out cross-validation of
+// the symmetric mean absolute percentage error, which penalizes the
+// overfitting the paper's Section 4.5 discusses.
+//
+// The white-box integration point is Prior: the taint analysis restricts
+// which parameters may appear in a model at all (and which may couple
+// multiplicatively), turning the black-box search into the paper's hybrid
+// modeler. Batch fitting fans out through FitAll, whose per-request
+// failures surface as typed *FitError values.
+package extrap

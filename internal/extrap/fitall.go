@@ -1,6 +1,10 @@
 package extrap
 
-import "repro/internal/par"
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
 
 // Request names one model-fitting job of a batch fit: a dataset plus the
 // prior restricting its search space. Repeated-measurement fits of
@@ -16,27 +20,74 @@ type Request struct {
 	Prior *Prior
 }
 
-// Fit is the outcome of one Request, in request order.
+// Fit is the outcome of one Request, in request order. A failed fit
+// carries a nil Model and a non-nil *FitError — callers that range over
+// batch results must check Err before using Model, and the helpers
+// (FirstFitErr, modelreg's pipeline) propagate failures as typed errors
+// instead of zero-value models.
 type Fit struct {
 	Name  string
 	Model *Model
-	Err   error
+	// Err, when non-nil, is always a *FitError wrapping the solver or
+	// validation failure of this one request.
+	Err error
 }
+
+// FitError is the typed per-request failure of a batch fit: which job
+// failed, over which parameter (empty for multi-parameter searches), and
+// the underlying solver or validation error. errors.As-able through any
+// wrapping the pipeline adds on top.
+type FitError struct {
+	// Name is the Request.Name of the failed job.
+	Name string
+	// Param is the Request.Param of a single-parameter fit, "" otherwise.
+	Param string
+	// Err is the underlying failure (validation, singular system, ...).
+	Err error
+}
+
+// Error renders the failure with its job name.
+func (e *FitError) Error() string {
+	if e.Param != "" {
+		return fmt.Sprintf("extrap: fit %q over %q: %v", e.Name, e.Param, e.Err)
+	}
+	return fmt.Sprintf("extrap: fit %q: %v", e.Name, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *FitError) Unwrap() error { return e.Err }
 
 // FitAll fits every request on at most workers goroutines (workers <= 0
 // means GOMAXPROCS) and returns results in request order. Each fit is
-// independent: a failing request only marks its own Fit.Err.
+// independent: a failing request only marks its own Fit.Err (always a
+// *FitError), never the whole batch.
 func FitAll(reqs []Request, opt Options, workers int) []Fit {
 	out := make([]Fit, len(reqs))
 	par.ForEach(workers, len(reqs), func(i int) {
 		req := reqs[i]
 		f := Fit{Name: req.Name}
+		var err error
 		if req.Param != "" {
-			f.Model, f.Err = ModelSingle(req.Dataset, req.Param, opt)
+			f.Model, err = ModelSingle(req.Dataset, req.Param, opt)
 		} else {
-			f.Model, f.Err = ModelMulti(req.Dataset, opt, req.Prior)
+			f.Model, err = ModelMulti(req.Dataset, opt, req.Prior)
+		}
+		if err != nil {
+			f.Model = nil
+			f.Err = &FitError{Name: req.Name, Param: req.Param, Err: err}
 		}
 		out[i] = f
 	})
 	return out
+}
+
+// FirstFitErr returns the first failed fit of a batch in request order,
+// or nil when every request succeeded.
+func FirstFitErr(fits []Fit) error {
+	for _, f := range fits {
+		if f.Err != nil {
+			return f.Err
+		}
+	}
+	return nil
 }

@@ -1,11 +1,3 @@
-// Package extrap reimplements the Extra-P empirical performance modeler
-// used as the black-box half of Perf-Taint: the performance model normal
-// form (PMNF, Equation 1), its default search space, least-squares
-// hypothesis fitting, the single-parameter model search, and the
-// multi-parameter heuristic that combines the best single-parameter models
-// (Calotoiu et al.). Model selection uses leave-one-out cross-validation of
-// the symmetric mean absolute percentage error, which penalizes the
-// overfitting the paper's Section 4.5 discusses.
 package extrap
 
 import (

@@ -1,0 +1,9 @@
+// Package loopmodel implements the symbolic iteration-volume algebra of
+// Section 4: count(L) = g(p1..pn) for each loop with the parameter set
+// delivered by the taint analysis, sequencing of loop nests composing
+// additively and nesting composing multiplicatively (Claims 1-2), and the
+// recursive accumulation over the call tree yielding the asymptotic compute
+// volume of the whole program (Theorem 1). The resulting dependency
+// structure — additive groups of multiplicative parameter sets — is the
+// prior the hybrid modeler feeds to Extra-P.
+package loopmodel

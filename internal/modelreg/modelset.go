@@ -1,0 +1,290 @@
+package modelreg
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/extrap"
+)
+
+// ModelSet is the finished model-extraction artifact: every modeled
+// function with its fitted models, validation diagnostics, and parameter
+// attribution, ranked by predicted contribution at the largest design
+// point. It is immutable once built, JSON-stable (all float fields are
+// finite), and content-addressed by Key.
+type ModelSet struct {
+	// App is the registered application name the sweep analyzed.
+	App string `json:"app"`
+	// SpecDigest is the content address of the analyzed spec.
+	SpecDigest string `json:"spec_digest"`
+	// DesignDigest is the canonical digest of the modeling design.
+	DesignDigest string `json:"design_digest"`
+	// Key is the registry address: hash of SpecDigest + DesignDigest.
+	Key string `json:"key"`
+	// Params are the model parameters in declaration order.
+	Params []string `json:"params"`
+	// Metrics lists the modeled quantities; the first ranks the report.
+	Metrics []string `json:"metrics"`
+	// Points is the number of design points consumed; Reps the repeated
+	// measurements per point.
+	Points int `json:"points"`
+	Reps   int `json:"reps"`
+	// TaintConfig is the configuration of the white-box taint run (the
+	// smallest design point).
+	TaintConfig apps.Config `json:"taint_config"`
+	// RankConfig is the design point models are evaluated at for the
+	// contribution ranking (the largest design point).
+	RankConfig apps.Config `json:"rank_config"`
+	// Functions carries one entry per modeled function, sorted by Rank.
+	Functions []FunctionModels `json:"functions"`
+}
+
+// FunctionModels bundles everything extracted for one function.
+type FunctionModels struct {
+	Function string `json:"function"`
+	// Kind is the census classification (main, kernel, comm, ...), or
+	// "mpi" for library routines measured through the simulator.
+	Kind string `json:"kind"`
+	// Deps are the taint-identified parameter dependencies (the
+	// white-box proof), sorted.
+	Deps []string `json:"deps,omitempty"`
+	// Volume is the symbolic compute volume from the taint run, when the
+	// function has one.
+	Volume string `json:"volume,omitempty"`
+	// Rank orders functions by predicted primary-metric contribution at
+	// RankConfig (1 = largest); Share is that contribution as a fraction
+	// of the total.
+	Rank  int     `json:"rank"`
+	Share float64 `json:"share,omitempty"`
+	// Metrics holds one fitted model pair per modeled metric.
+	Metrics []MetricModel `json:"metrics"`
+}
+
+// MetricModel is the fit outcome of one function over one metric: the
+// hybrid (taint-prior) and black-box models side by side, with the
+// parameter attribution their disagreement implies.
+type MetricModel struct {
+	Metric string `json:"metric"`
+	// Hybrid is the taint-informed fit; nil when fitting failed, with
+	// HybridErr carrying the typed extrap.FitError message.
+	Hybrid    *ModelFit `json:"hybrid,omitempty"`
+	HybridErr string    `json:"hybrid_error,omitempty"`
+	// BlackBox is the unrestricted fit of the same dataset; nil when
+	// fitting failed, with BlackBoxErr carrying the failure.
+	BlackBox    *ModelFit `json:"black_box,omitempty"`
+	BlackBoxErr string    `json:"black_box_error,omitempty"`
+	// Attribution classifies every model parameter for this function
+	// (clean vs tainted vs pruned), derived from the taint masks and the
+	// two fits.
+	Attribution []ParamAttribution `json:"attribution,omitempty"`
+	// Points is the dataset size; MaxCoV the worst coefficient of
+	// variation across its points; Reliable whether MaxCoV passes the
+	// paper's 0.1 noise cutoff.
+	Points   int     `json:"points"`
+	MaxCoV   float64 `json:"max_cov"`
+	Reliable bool    `json:"reliable"`
+}
+
+// ModelFit is one fitted PMNF model with its validation diagnostics.
+type ModelFit struct {
+	// Expr is the human-readable model in the paper's notation.
+	Expr string `json:"expr"`
+	// Params are the parameters the model actually uses.
+	Params []string `json:"params,omitempty"`
+	// Constant reports a parameter-free model.
+	Constant bool `json:"constant"`
+	// Multiplicative reports a term coupling two or more parameters.
+	Multiplicative bool `json:"multiplicative,omitempty"`
+	// SMAPE is the training symmetric mean absolute percentage error;
+	// CV its leave-one-out cross-validated counterpart (negative when
+	// not computable, e.g. too few points); AdjR2 the adjusted
+	// coefficient of determination; RSS the residual sum of squares.
+	SMAPE float64 `json:"smape"`
+	CV    float64 `json:"cv"`
+	AdjR2 float64 `json:"adj_r2"`
+	RSS   float64 `json:"rss"`
+}
+
+// Attribution statuses: the paper-style classification of one model
+// parameter for one function, combining the taint proof with what the
+// two fits did.
+const (
+	// AttrConfirmed: the taint analysis proves the dependence and the
+	// hybrid model uses the parameter — a clean, validated term.
+	AttrConfirmed = "confirmed"
+	// AttrAllowedUnused: taint allows the parameter but the fit found no
+	// measurable effect (dependence exists but is below noise).
+	AttrAllowedUnused = "allowed-unused"
+	// AttrPrunedNoise: the black-box fit used the parameter but the
+	// taint proof vetoes it — a noise-induced false dependence the
+	// hybrid pipeline removed (the paper's 77% headline).
+	AttrPrunedNoise = "pruned-noise"
+	// AttrIndependent: neither the taint proof nor the black-box fit
+	// connects the function to the parameter.
+	AttrIndependent = "independent"
+)
+
+// ParamAttribution classifies one model parameter for one function.
+type ParamAttribution struct {
+	Param string `json:"param"`
+	// Tainted reports the white-box proof: the taint masks connect the
+	// function to this parameter.
+	Tainted bool `json:"tainted"`
+	// InHybrid / InBlackBox report whether the respective fitted model
+	// uses the parameter.
+	InHybrid   bool `json:"in_hybrid"`
+	InBlackBox bool `json:"in_black_box"`
+	// Status is the combined classification (Attr* constants).
+	Status string `json:"status"`
+}
+
+// newModelFit projects a fitted model and its training dataset into the
+// wire form, sanitizing non-finite diagnostics (JSON cannot carry Inf).
+func newModelFit(d *extrap.Dataset, m *extrap.Model) *ModelFit {
+	f := &ModelFit{
+		Expr:           m.String(),
+		Params:         m.Params(),
+		Constant:       m.IsConstant(),
+		Multiplicative: m.Multiplicative(),
+		SMAPE:          finiteOr(m.SMAPE, -1),
+		CV:             finiteOr(m.CV, -1),
+		AdjR2:          finiteOr(adjustedR2(d, m), -1),
+		RSS:            finiteOr(m.RSS, -1),
+	}
+	return f
+}
+
+// adjustedR2 computes 1 - (1-R2)(n-1)/(n-k-1) for a model with k
+// parametric terms over n points. Degenerate datasets (zero variance)
+// score 1 for a well-fitting constant model and 0 otherwise; too few
+// points fall back to the unadjusted R2.
+func adjustedR2(d *extrap.Dataset, m *extrap.Model) float64 {
+	n := len(d.Points)
+	if n == 0 {
+		return 0
+	}
+	mean := 0.0
+	ys := make([]float64, n)
+	for i, p := range d.Points {
+		ys[i] = p.Mean()
+		mean += ys[i]
+	}
+	mean /= float64(n)
+	tss := 0.0
+	for _, y := range ys {
+		tss += (y - mean) * (y - mean)
+	}
+	if tss <= 0 {
+		// Constant metric: a constant model explains it perfectly.
+		if m.RSS <= 1e-12 {
+			return 1
+		}
+		return 0
+	}
+	r2 := 1 - m.RSS/tss
+	k := len(m.Terms)
+	if denom := n - k - 1; denom > 0 {
+		return 1 - (1-r2)*float64(n-1)/float64(denom)
+	}
+	return r2
+}
+
+// finiteOr replaces NaN/Inf with fallback so the artifact marshals.
+func finiteOr(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
+}
+
+// attribution classifies every model parameter from the taint
+// dependencies and the two fits.
+func attribution(modelParams, deps []string, hybrid, blackBox *ModelFit) []ParamAttribution {
+	depSet := make(map[string]bool, len(deps))
+	for _, d := range deps {
+		depSet[d] = true
+	}
+	uses := func(f *ModelFit, p string) bool {
+		if f == nil {
+			return false
+		}
+		for _, q := range f.Params {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]ParamAttribution, 0, len(modelParams))
+	for _, p := range modelParams {
+		a := ParamAttribution{
+			Param:      p,
+			Tainted:    depSet[p],
+			InHybrid:   uses(hybrid, p),
+			InBlackBox: uses(blackBox, p),
+		}
+		switch {
+		case a.Tainted && a.InHybrid:
+			a.Status = AttrConfirmed
+		case a.Tainted:
+			a.Status = AttrAllowedUnused
+		case a.InBlackBox:
+			a.Status = AttrPrunedNoise
+		default:
+			a.Status = AttrIndependent
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// PrunedCount totals the pruned-noise attributions across the set: how
+// many noise-induced parameter dependencies the taint priors removed.
+func (ms *ModelSet) PrunedCount() int {
+	n := 0
+	for _, fn := range ms.Functions {
+		for _, mm := range fn.Metrics {
+			for _, a := range mm.Attribution {
+				if a.Status == AttrPrunedNoise {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Function returns the entry for name, or nil.
+func (ms *ModelSet) Function(name string) *FunctionModels {
+	for i := range ms.Functions {
+		if ms.Functions[i].Function == name {
+			return &ms.Functions[i]
+		}
+	}
+	return nil
+}
+
+// Metric returns the fit pair for metric, or nil.
+func (fm *FunctionModels) Metric(metric string) *MetricModel {
+	for i := range fm.Metrics {
+		if fm.Metrics[i].Metric == metric {
+			return &fm.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// sortFunctions assigns ranks from shares and orders the slice: ranked
+// functions first by descending share, then the rest alphabetically.
+func sortFunctions(fns []FunctionModels) {
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].Share != fns[j].Share {
+			return fns[i].Share > fns[j].Share
+		}
+		return fns[i].Function < fns[j].Function
+	})
+	for i := range fns {
+		fns[i].Rank = i + 1
+	}
+}

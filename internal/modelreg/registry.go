@@ -1,0 +1,156 @@
+package modelreg
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Registry is the content-addressed model store: finished ModelSets
+// keyed by Key (spec digest + design digest). Each distinct key is built
+// at most once — concurrent requests for the same key join the in-flight
+// build singleflight-style — and completed sets are immutable and shared
+// read-only, so a cache hit answers POST /v1/models without touching the
+// interpreter or the fitter at all. An LRU policy bounds residency;
+// build errors are never cached (the next request retries).
+type Registry struct {
+	mu sync.Mutex
+	// capacity bounds completed entries; <= 0 means unbounded.
+	capacity int
+	// order is the recency list, front = most recently used; values are
+	// *regEntry.
+	order   *list.List
+	entries map[string]*list.Element
+	// inflight tracks keys currently being extracted; joiners wait on
+	// the build instead of duplicating a full sweep.
+	inflight map[string]*regFlight
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type regEntry struct {
+	key string
+	ms  *ModelSet
+}
+
+type regFlight struct {
+	done chan struct{}
+	ms   *ModelSet
+	err  error
+}
+
+// RegistryStats is a point-in-time snapshot of the registry counters.
+type RegistryStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// NewRegistry returns a registry bounded to capacity completed model
+// sets (<= 0 means unbounded).
+func NewRegistry(capacity int) *Registry {
+	return &Registry{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*regFlight),
+	}
+}
+
+// Get returns the model set stored under key, building it at most once
+// per content address via build no matter how many goroutines ask
+// concurrently. The returned bool reports whether the set came from the
+// cache (true) or from this call's build (false); joiners of an
+// in-flight build count as cache hits, like the PreparedCache.
+func (r *Registry) Get(key string, build func() (*ModelSet, error)) (*ModelSet, bool, error) {
+	r.mu.Lock()
+	if el, ok := r.entries[key]; ok {
+		r.order.MoveToFront(el)
+		r.hits++
+		ms := el.Value.(*regEntry).ms
+		r.mu.Unlock()
+		return ms, true, nil
+	}
+	if fl, ok := r.inflight[key]; ok {
+		r.hits++
+		r.mu.Unlock()
+		<-fl.done
+		return fl.ms, true, fl.err
+	}
+	fl := &regFlight{done: make(chan struct{})}
+	r.inflight[key] = fl
+	r.misses++
+	r.mu.Unlock()
+
+	fl.ms, fl.err = build()
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if fl.err == nil {
+		r.insertLocked(key, fl.ms)
+	}
+	r.mu.Unlock()
+	close(fl.done)
+	return fl.ms, false, fl.err
+}
+
+// insertLocked files a completed build at the front of the recency list
+// and evicts from the back past capacity. Caller holds mu.
+func (r *Registry) insertLocked(key string, ms *ModelSet) {
+	if el, ok := r.entries[key]; ok {
+		r.order.MoveToFront(el)
+		return
+	}
+	r.entries[key] = r.order.PushFront(&regEntry{key: key, ms: ms})
+	for r.capacity > 0 && r.order.Len() > r.capacity {
+		last := r.order.Back()
+		if last == nil {
+			break
+		}
+		r.order.Remove(last)
+		delete(r.entries, last.Value.(*regEntry).key)
+		r.evictions++
+	}
+}
+
+// Lookup returns the resident model set for key without building,
+// touching recency but not the hit/miss counters (it backs the GET
+// endpoint, where a miss is a 404, not a build trigger).
+func (r *Registry) Lookup(key string) (*ModelSet, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el, ok := r.entries[key]
+	if !ok {
+		return nil, false
+	}
+	r.order.MoveToFront(el)
+	return el.Value.(*regEntry).ms, true
+}
+
+// Keys returns the resident content addresses in most- to
+// least-recently-used order.
+func (r *Registry) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, r.order.Len())
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*regEntry).key)
+	}
+	return out
+}
+
+// Stats snapshots the counters.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RegistryStats{
+		Hits:      r.hits,
+		Misses:    r.misses,
+		Evictions: r.evictions,
+		Entries:   r.order.Len(),
+		Capacity:  r.capacity,
+	}
+}

@@ -1,0 +1,315 @@
+package modelreg
+
+import (
+	"fmt"
+	"html/template"
+	"sort"
+	"strings"
+)
+
+// RenderMarkdown renders the model set as the human-readable report: a
+// header with provenance (digests, design, taint configuration), the
+// ranked per-function model table for the primary metric, the parameter
+// attribution of every taint/black-box disagreement, and per-metric fit
+// diagnostics. The output is deterministic for a given ModelSet, which
+// is what lets CI pin it with a golden snapshot.
+func RenderMarkdown(ms *ModelSet) string {
+	var b strings.Builder
+	primary := ms.primaryMetric()
+
+	fmt.Fprintf(&b, "# Performance models — %s\n\n", orDash(ms.App))
+	fmt.Fprintf(&b, "- spec digest: `%s`\n", short(ms.SpecDigest))
+	fmt.Fprintf(&b, "- design digest: `%s`\n", short(ms.DesignDigest))
+	fmt.Fprintf(&b, "- model key: `%s`\n", short(ms.Key))
+	fmt.Fprintf(&b, "- parameters: %s\n", strings.Join(ms.Params, ", "))
+	fmt.Fprintf(&b, "- design: %d points × %d repetitions; metrics: %s\n",
+		ms.Points, ms.Reps, strings.Join(ms.Metrics, ", "))
+	fmt.Fprintf(&b, "- taint run: %s\n", configString(ms.TaintConfig))
+	fmt.Fprintf(&b, "- ranked at: %s\n", configString(ms.RankConfig))
+	fmt.Fprintf(&b, "- functions modeled: %d; noise-induced dependencies pruned by the taint prior: %d\n",
+		len(ms.Functions), ms.PrunedCount())
+
+	fmt.Fprintf(&b, "\n## Ranked models (%s)\n\n", primary)
+	b.WriteString("| # | function | kind | taint deps | model | adj R² | CV | share |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, fn := range ms.Functions {
+		mm := fn.Metric(primary)
+		if mm == nil {
+			continue
+		}
+		expr, adj, cv := "fit failed: "+mm.HybridErr, "—", "—"
+		if mm.Hybrid != nil {
+			expr = mm.Hybrid.Expr
+			adj = fmt.Sprintf("%.3f", mm.Hybrid.AdjR2)
+			cv = diagString(mm.Hybrid.CV)
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | `%s` | %s | %s | %s |\n",
+			fn.Rank, fn.Function, fn.Kind, orDash(strings.Join(fn.Deps, ", ")),
+			expr, adj, cv, shareString(fn.Share))
+	}
+
+	b.WriteString("\n## Parameter attribution\n\n")
+	b.WriteString("Disagreements between the black-box fit and the taint proof\n")
+	b.WriteString("(confirmed/independent parameters are omitted):\n\n")
+	b.WriteString("| function | metric | param | status | black-box model |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	rows := 0
+	for _, fn := range ms.Functions {
+		for _, mm := range fn.Metrics {
+			for _, a := range mm.Attribution {
+				if a.Status != AttrPrunedNoise && a.Status != AttrAllowedUnused {
+					continue
+				}
+				bb := "—"
+				if mm.BlackBox != nil {
+					bb = "`" + mm.BlackBox.Expr + "`"
+				}
+				fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+					fn.Function, mm.Metric, a.Param, a.Status, bb)
+				rows++
+			}
+		}
+	}
+	if rows == 0 {
+		b.WriteString("| — | — | — | — | — |\n")
+	}
+
+	b.WriteString("\n## Fit diagnostics\n\n")
+	b.WriteString("| function | metric | points | max CoV | reliable | hybrid SMAPE | hybrid CV | black-box model |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, fn := range ms.Functions {
+		for _, mm := range fn.Metrics {
+			smape, cv := "—", "—"
+			if mm.Hybrid != nil {
+				smape = diagString(mm.Hybrid.SMAPE)
+				cv = diagString(mm.Hybrid.CV)
+			}
+			bb := "fit failed: " + mm.BlackBoxErr
+			if mm.BlackBox != nil {
+				bb = "`" + mm.BlackBox.Expr + "`"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %d | %s | %v | %s | %s | %s |\n",
+				fn.Function, mm.Metric, mm.Points, diagString(mm.MaxCoV),
+				mm.Reliable, smape, cv, bb)
+		}
+	}
+	return b.String()
+}
+
+// primaryMetric is the ranking metric (the first of Metrics).
+func (ms *ModelSet) primaryMetric() string {
+	if len(ms.Metrics) > 0 {
+		return ms.Metrics[0]
+	}
+	return MetricSeconds
+}
+
+// configString renders a configuration deterministically (sorted keys).
+func configString(cfg map[string]float64) string {
+	if len(cfg) == 0 {
+		return "—"
+	}
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, cfg[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// short abbreviates a digest for display.
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return orDash(digest)
+}
+
+// diagString renders a diagnostic value; negatives mean "not
+// computable" (sanitized infinities) and render as a dash.
+func diagString(v float64) string {
+	if v < 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func shareString(v float64) string {
+	if v <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+// htmlPage is the self-contained report template: inline CSS, no
+// external assets, so the single file travels as a CI artifact.
+var htmlPage = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Performance models — {{.App}}</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }
+  h1, h2 { line-height: 1.2; }
+  table { border-collapse: collapse; width: 100%; margin: 1rem 0; }
+  th, td { border: 1px solid #d0d0d0; padding: 0.3rem 0.55rem; text-align: left; vertical-align: top; }
+  th { background: #f2f2f2; }
+  code { font: 12px/1.4 ui-monospace, monospace; background: #f6f6f6; padding: 0.1rem 0.25rem; border-radius: 3px; }
+  .meta td:first-child { font-weight: 600; white-space: nowrap; }
+  .num { text-align: right; font-variant-numeric: tabular-nums; }
+  .status-pruned-noise { color: #8a2a00; font-weight: 600; }
+  .status-allowed-unused { color: #555; }
+  .unreliable { color: #8a2a00; }
+</style>
+</head>
+<body>
+<h1>Performance models — {{.App}}</h1>
+<table class="meta">
+<tr><td>spec digest</td><td><code>{{.SpecDigest}}</code></td></tr>
+<tr><td>design digest</td><td><code>{{.DesignDigest}}</code></td></tr>
+<tr><td>model key</td><td><code>{{.Key}}</code></td></tr>
+<tr><td>parameters</td><td>{{.ParamsJoined}}</td></tr>
+<tr><td>design</td><td>{{.Points}} points × {{.Reps}} repetitions; metrics: {{.MetricsJoined}}</td></tr>
+<tr><td>taint run</td><td>{{.TaintConfig}}</td></tr>
+<tr><td>ranked at</td><td>{{.RankConfig}}</td></tr>
+<tr><td>pruned dependencies</td><td>{{.Pruned}}</td></tr>
+</table>
+
+<h2>Ranked models ({{.Primary}})</h2>
+<table>
+<tr><th>#</th><th>function</th><th>kind</th><th>taint deps</th><th>model</th><th>adj R²</th><th>CV</th><th>share</th></tr>
+{{range .Ranked}}<tr><td class="num">{{.Rank}}</td><td>{{.Function}}</td><td>{{.Kind}}</td><td>{{.Deps}}</td><td><code>{{.Expr}}</code></td><td class="num">{{.AdjR2}}</td><td class="num">{{.CV}}</td><td class="num">{{.Share}}</td></tr>
+{{end}}</table>
+
+<h2>Parameter attribution</h2>
+<p>Disagreements between the black-box fit and the taint proof
+(confirmed/independent parameters are omitted):</p>
+<table>
+<tr><th>function</th><th>metric</th><th>param</th><th>status</th><th>black-box model</th></tr>
+{{range .Attribution}}<tr><td>{{.Function}}</td><td>{{.Metric}}</td><td>{{.Param}}</td><td class="status-{{.Status}}">{{.Status}}</td><td><code>{{.BlackBox}}</code></td></tr>
+{{end}}</table>
+
+<h2>Fit diagnostics</h2>
+<table>
+<tr><th>function</th><th>metric</th><th>points</th><th>max CoV</th><th>reliable</th><th>hybrid SMAPE</th><th>hybrid CV</th><th>black-box model</th></tr>
+{{range .Diagnostics}}<tr><td>{{.Function}}</td><td>{{.Metric}}</td><td class="num">{{.Points}}</td><td class="num">{{.MaxCoV}}</td><td{{if not .Reliable}} class="unreliable"{{end}}>{{.Reliable}}</td><td class="num">{{.SMAPE}}</td><td class="num">{{.CV}}</td><td><code>{{.BlackBox}}</code></td></tr>
+{{end}}</table>
+</body>
+</html>
+`))
+
+// htmlData flattens a ModelSet into template-friendly rows.
+type htmlData struct {
+	App           string
+	SpecDigest    string
+	DesignDigest  string
+	Key           string
+	ParamsJoined  string
+	MetricsJoined string
+	Points, Reps  int
+	TaintConfig   string
+	RankConfig    string
+	Pruned        int
+	Primary       string
+	Ranked        []htmlRankedRow
+	Attribution   []htmlAttrRow
+	Diagnostics   []htmlDiagRow
+}
+
+type htmlRankedRow struct {
+	Rank                       int
+	Function, Kind, Deps, Expr string
+	AdjR2, CV, Share           string
+}
+
+type htmlAttrRow struct {
+	Function, Metric, Param, Status, BlackBox string
+}
+
+type htmlDiagRow struct {
+	Function, Metric    string
+	Points              int
+	MaxCoV              string
+	Reliable            bool
+	SMAPE, CV, BlackBox string
+}
+
+// RenderHTML renders the model set as one self-contained HTML page
+// (inline styles, no external assets) carrying the same content as the
+// Markdown report.
+func RenderHTML(ms *ModelSet) string {
+	primary := ms.primaryMetric()
+	data := htmlData{
+		App:           orDash(ms.App),
+		SpecDigest:    ms.SpecDigest,
+		DesignDigest:  ms.DesignDigest,
+		Key:           ms.Key,
+		ParamsJoined:  strings.Join(ms.Params, ", "),
+		MetricsJoined: strings.Join(ms.Metrics, ", "),
+		Points:        ms.Points,
+		Reps:          ms.Reps,
+		TaintConfig:   configString(ms.TaintConfig),
+		RankConfig:    configString(ms.RankConfig),
+		Pruned:        ms.PrunedCount(),
+		Primary:       primary,
+	}
+	for _, fn := range ms.Functions {
+		mm := fn.Metric(primary)
+		if mm != nil {
+			row := htmlRankedRow{
+				Rank: fn.Rank, Function: fn.Function, Kind: fn.Kind,
+				Deps:  orDash(strings.Join(fn.Deps, ", ")),
+				Expr:  "fit failed: " + mm.HybridErr,
+				AdjR2: "—", CV: "—", Share: shareString(fn.Share),
+			}
+			if mm.Hybrid != nil {
+				row.Expr = mm.Hybrid.Expr
+				row.AdjR2 = fmt.Sprintf("%.3f", mm.Hybrid.AdjR2)
+				row.CV = diagString(mm.Hybrid.CV)
+			}
+			data.Ranked = append(data.Ranked, row)
+		}
+		for _, mm := range fn.Metrics {
+			bb := "fit failed: " + mm.BlackBoxErr
+			if mm.BlackBox != nil {
+				bb = mm.BlackBox.Expr
+			}
+			for _, a := range mm.Attribution {
+				if a.Status == AttrPrunedNoise || a.Status == AttrAllowedUnused {
+					data.Attribution = append(data.Attribution, htmlAttrRow{
+						Function: fn.Function, Metric: mm.Metric,
+						Param: a.Param, Status: a.Status, BlackBox: bb,
+					})
+				}
+			}
+			diag := htmlDiagRow{
+				Function: fn.Function, Metric: mm.Metric, Points: mm.Points,
+				MaxCoV: diagString(mm.MaxCoV), Reliable: mm.Reliable,
+				SMAPE: "—", CV: "—", BlackBox: bb,
+			}
+			if mm.Hybrid != nil {
+				diag.SMAPE = diagString(mm.Hybrid.SMAPE)
+				diag.CV = diagString(mm.Hybrid.CV)
+			}
+			data.Diagnostics = append(data.Diagnostics, diag)
+		}
+	}
+	var b strings.Builder
+	// The template executes over plain data with no user-controlled
+	// actions; an error here is a programming bug.
+	if err := htmlPage.Execute(&b, data); err != nil {
+		panic(fmt.Sprintf("modelreg: render html: %v", err))
+	}
+	return b.String()
+}

@@ -96,6 +96,56 @@ func (r *Runner) Sweep(d Design) ([]Result, error) {
 	return r.AnalyzeBatch(d.Spec, d.Configs())
 }
 
+// SweepFitCtx is the streaming batch entry point: it fans the dynamic
+// runs out across the worker pool exactly like AnalyzeBatchPreparedCtx,
+// but hands each Result to emit in input order as soon as it and all its
+// predecessors have finished — downstream consumers start working on
+// design point i while points i+1.. are still being analyzed. It exists
+// for the model-extraction pipeline (internal/modelreg), which feeds
+// sweep results into an incremental fitter as they stream, hence the
+// name; any consumer that wants pipelined, input-ordered results can
+// use it.
+//
+// emit is called from the SweepFitCtx goroutine only, never concurrently.
+// A non-nil error from emit cancels all jobs that have not started
+// (running jobs finish — they are fuel-bounded) and is returned after the
+// pool drains. Per-job analysis failures do not abort the stream: they
+// arrive in Result.Err like in the batch API, and the consumer decides.
+func (r *Runner) SweepFitCtx(ctx context.Context, p *core.Prepared, cfgs []apps.Config, emit func(Result) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]Result, len(cfgs))
+	ready := make([]chan struct{}, len(cfgs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	poolDone := make(chan struct{})
+	go func() {
+		defer close(poolDone)
+		Map(r.workers(), len(cfgs), func(i int) {
+			defer close(ready[i])
+			if err := ctx.Err(); err != nil {
+				out[i] = Result{Index: i, Config: cfgs[i], Err: fmt.Errorf("runner: job %d skipped: %w", i, err)}
+				return
+			}
+			rep, err := p.Analyze(cfgs[i])
+			out[i] = Result{Index: i, Config: cfgs[i], Report: rep, Err: err}
+		})
+	}()
+	var emitErr error
+	for i := range cfgs {
+		<-ready[i]
+		if emitErr == nil {
+			if err := emit(out[i]); err != nil {
+				emitErr = err
+				cancel() // skip everything not yet started
+			}
+		}
+	}
+	<-poolDone
+	return emitErr
+}
+
 // FirstErr returns the first per-job error of a batch in input order, or
 // nil when every job succeeded.
 func FirstErr(rs []Result) error {

@@ -312,3 +312,89 @@ func TestAnalyzeBatchPreparedCtxCancel(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepFitCtxStreams checks the streaming entry point: results
+// arrive in input order, exactly once each, match the batch API, and
+// emit is never called concurrently.
+func TestSweepFitCtxStreams(t *testing.T) {
+	p, err := core.Prepare(apps.LULESH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := luleshConfigs()
+	batch := (&Runner{Workers: 4}).AnalyzeBatchPrepared(p, cfgs)
+
+	var streamed []Result
+	err = (&Runner{Workers: 4}).SweepFitCtx(context.Background(), p, cfgs, func(res Result) error {
+		streamed = append(streamed, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(cfgs) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(cfgs))
+	}
+	for i, res := range streamed {
+		if res.Index != i {
+			t.Fatalf("result %d carries index %d", i, res.Index)
+		}
+		if res.Err != nil {
+			t.Fatalf("job %d failed: %v", i, res.Err)
+		}
+		if got, want := summarize(res.Report), summarize(batch[i].Report); got != want {
+			t.Fatalf("streamed result %d diverges from the batch API", i)
+		}
+	}
+}
+
+// TestSweepFitCtxEmitError checks that a failing sink cancels the rest
+// of the stream: emit is not called again and the call returns the
+// sink's error after the pool drains.
+func TestSweepFitCtxEmitError(t *testing.T) {
+	p, err := core.Prepare(apps.LULESH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := luleshConfigs()
+	sinkErr := errors.New("sink full")
+	calls := 0
+	err = (&Runner{Workers: 2}).SweepFitCtx(context.Background(), p, cfgs, func(res Result) error {
+		calls++
+		if calls == 2 {
+			return sinkErr
+		}
+		return nil
+	})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("want sink error back, got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times after failure, want 2", calls)
+	}
+}
+
+// TestSweepFitCtxCancel checks cooperative cancellation: a dead context
+// still emits every slot, with skip errors on not-started jobs.
+func TestSweepFitCtxCancel(t *testing.T) {
+	p, err := core.Prepare(apps.LULESH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var seen int
+	err = (&Runner{Workers: 2}).SweepFitCtx(ctx, p, luleshConfigs(), func(res Result) error {
+		seen++
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("job %d: want context.Canceled, got %v", res.Index, res.Err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("emit never failed, got %v", err)
+	}
+	if seen != len(luleshConfigs()) {
+		t.Fatalf("saw %d results, want every slot", seen)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/modelreg"
 )
 
 // App is one analyzable application registered with the daemon: a spec
@@ -159,11 +160,12 @@ type JobStats struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	UptimeMS int64      `json:"uptime_ms"`
-	Workers  int        `json:"workers"`
-	Apps     []string   `json:"apps"`
-	Cache    CacheStats `json:"cache"`
-	Jobs     JobStats   `json:"jobs"`
+	UptimeMS int64                  `json:"uptime_ms"`
+	Workers  int                    `json:"workers"`
+	Apps     []string               `json:"apps"`
+	Cache    CacheStats             `json:"cache"`
+	Models   modelreg.RegistryStats `json:"models"`
+	Jobs     JobStats               `json:"jobs"`
 }
 
 // DefaultCensusParams is the census column used when a request does not

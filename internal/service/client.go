@@ -137,46 +137,65 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 	}
 }
 
-// Sweep submits a full-factorial design and invokes emit for every
-// NDJSON result line in design order as the server streams them. A
-// non-nil error from emit aborts the stream and is returned.
-func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLine) error) error {
-	raw, err := json.Marshal(&req)
+// stream POSTs body to path and returns the raw streaming response;
+// the caller owns resp.Body. Error statuses are decoded and returned.
+func (c *Client) stream(ctx context.Context, path string, body any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
 	if err != nil {
-		return fmt.Errorf("service: encode sweep: %w", err)
+		return nil, fmt.Errorf("service: encode %s request: %w", path, err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sweep", bytes.NewReader(raw))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(raw))
 	if err != nil {
-		return fmt.Errorf("service: build sweep request: %w", err)
+		return nil, fmt.Errorf("service: build %s request: %w", path, err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
-		return fmt.Errorf("service: POST /v1/sweep: %w", err)
+		return nil, fmt.Errorf("service: POST %s: %w", path, err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		return apiError(resp)
+		defer resp.Body.Close()
+		return nil, apiError(resp)
 	}
-	sc := bufio.NewScanner(resp.Body)
+	return resp, nil
+}
+
+// scanNDJSON feeds every non-empty line of r to emit; a non-nil error
+// from emit aborts the scan and is returned.
+func scanNDJSON(r io.Reader, emit func(line []byte) error) error {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		var rec SweepLine
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return fmt.Errorf("service: decode sweep line: %w", err)
-		}
-		if err := emit(rec); err != nil {
+		if err := emit(line); err != nil {
 			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("service: sweep stream: %w", err)
+		return fmt.Errorf("service: response stream: %w", err)
 	}
 	return nil
+}
+
+// Sweep submits a full-factorial design and invokes emit for every
+// NDJSON result line in design order as the server streams them. A
+// non-nil error from emit aborts the stream and is returned.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLine) error) error {
+	resp, err := c.stream(ctx, "/v1/sweep", &req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return scanNDJSON(resp.Body, func(line []byte) error {
+		var rec SweepLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("service: decode sweep line: %w", err)
+		}
+		return emit(rec)
+	})
 }
 
 // SweepAll collects a sweep into a slice; convenient for small designs.

@@ -1,0 +1,254 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/modelreg"
+	"repro/internal/runner"
+)
+
+// ModelRequest is the body of POST /v1/models: one end-to-end model
+// extraction — sweep the design, feed every point into the incremental
+// fitter, return the ranked model set. Results are content-addressed:
+// the same app (spec digest) and design answer from the model registry
+// without re-running anything.
+type ModelRequest struct {
+	// App names the registered application.
+	App string `json:"app"`
+	// Params are the model parameters; empty defaults to the axis
+	// parameters in axis order.
+	Params []string `json:"params,omitempty"`
+	// Defaults overlay the app's taint configuration for the non-swept
+	// parameters (same semantics as POST /v1/sweep).
+	Defaults map[string]float64 `json:"defaults,omitempty"`
+	// Axes span the full-factorial modeling design.
+	Axes []SweepAxis `json:"axes"`
+	// Reps, Seed, RelNoise, Batch and Metrics tune the measurement and
+	// fitting cadence; zero values take the modelreg defaults.
+	Reps     int      `json:"reps,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+	RelNoise float64  `json:"rel_noise,omitempty"`
+	Batch    int      `json:"batch,omitempty"`
+	Metrics  []string `json:"metrics,omitempty"`
+	// Stream, when true, answers with NDJSON: one progress event per
+	// line (taint, point, refit) followed by a terminal "result" line
+	// carrying the ModelResponse. Cache hits skip straight to the
+	// result line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// ModelResponse is the body of a finished model extraction (and of
+// GET /v1/models/{key}).
+type ModelResponse struct {
+	// Key is the registry address: hash of spec digest + design digest.
+	Key string `json:"key"`
+	// SpecDigest and DesignDigest are the two halves of the address.
+	SpecDigest   string `json:"spec_digest"`
+	DesignDigest string `json:"design_digest"`
+	// Cached reports whether the set was served from the registry
+	// without a new sweep.
+	Cached bool `json:"cached"`
+	// ModelSet is the artifact itself.
+	ModelSet *modelreg.ModelSet `json:"model_set"`
+}
+
+// modelStreamLine is one NDJSON record of a streaming model response:
+// either a progress event (Type taint/point/refit) or the terminal
+// result (Type "result" with the ModelResponse fields set).
+type modelStreamLine struct {
+	modelreg.Event
+	Key          string             `json:"key,omitempty"`
+	SpecDigest   string             `json:"spec_digest,omitempty"`
+	DesignDigest string             `json:"design_digest,omitempty"`
+	Cached       bool               `json:"cached,omitempty"`
+	ModelSet     *modelreg.ModelSet `json:"model_set,omitempty"`
+	Error        string             `json:"error,omitempty"`
+}
+
+// ResolveModelDefaults overlays a modeling config's defaults on the
+// app's taint configuration — the one canonical merge. Every surface
+// that extracts models (this daemon, `perftaint model`'s local mode,
+// examples/modeling) must route through it: registry cache hits depend
+// on all of them computing byte-identical defaults before digesting.
+func ResolveModelDefaults(app App, cfg modelreg.Config) modelreg.Config {
+	cfg.Defaults = mergedConfig(app, cfg.Defaults)
+	return cfg
+}
+
+// modelConfig assembles the modelreg configuration from a request and
+// the app's taint defaults.
+func (s *Server) modelConfig(req ModelRequest, app App) modelreg.Config {
+	cfg := modelreg.Config{
+		App:      req.App,
+		Params:   req.Params,
+		Reps:     req.Reps,
+		Seed:     req.Seed,
+		RelNoise: req.RelNoise,
+		Batch:    req.Batch,
+		Metrics:  req.Metrics,
+		Defaults: req.Defaults,
+	}
+	for _, ax := range req.Axes {
+		cfg.Axes = append(cfg.Axes, modelreg.Axis{Param: ax.Param, Values: ax.Values})
+	}
+	return ResolveModelDefaults(app, cfg)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var req ModelRequest
+	if err := decodeBody(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	app, spec, prepared, digest, err := s.resolve(req.App)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := s.modelConfig(req, app)
+	if err := cfg.Validate(spec); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n := cfg.Size(); n > s.opts.MaxSweepConfigs {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("design expands to %d configs, over the server cap of %d", n, s.opts.MaxSweepConfigs))
+		return
+	}
+	key := modelreg.Key(digest, cfg)
+
+	// The sweep+fit runs on its own bounded runner (same worker count as
+	// the scheduler pool); the registry's singleflight guarantees one
+	// build per key however many clients ask at once. The build is
+	// scoped to the SERVER's lifetime, not this request's: joiners of an
+	// in-flight build must not fail because the first requester
+	// disconnected, so a build, once started, runs to completion (it is
+	// fuel-bounded and capped by MaxSweepConfigs) and warms the registry
+	// even if every requester has gone away. Daemon shutdown cancels it.
+	build := func(onEvent func(modelreg.Event)) (*modelreg.ModelSet, error) {
+		return modelreg.Extract(s.baseCtx, &runner.Runner{Workers: s.opts.Workers},
+			prepared, cfg, onEvent)
+	}
+
+	if !req.Stream {
+		ms, cached, err := s.models.Get(key, func() (*modelreg.ModelSet, error) {
+			return build(nil)
+		})
+		if err != nil {
+			status := http.StatusInternalServerError
+			if s.baseCtx.Err() != nil {
+				// Shutdown, not a server bug.
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &ModelResponse{
+			Key: key, SpecDigest: digest, DesignDigest: ms.DesignDigest,
+			Cached: cached, ModelSet: ms,
+		})
+		return
+	}
+
+	// Streaming mode: progress events as they happen, one JSON object
+	// per line, then the terminal result. Joiners of someone else's
+	// in-flight build see no progress events (the builder owns them)
+	// but still receive the result line.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	emit := func(line *modelStreamLine) {
+		_ = enc.Encode(line)
+		_ = rc.Flush()
+	}
+	ms, cached, err := s.models.Get(key, func() (*modelreg.ModelSet, error) {
+		return build(func(ev modelreg.Event) {
+			emit(&modelStreamLine{Event: ev})
+		})
+	})
+	if err != nil {
+		emit(&modelStreamLine{Event: modelreg.Event{Type: "error"}, Error: err.Error()})
+		return
+	}
+	emit(&modelStreamLine{
+		Event: modelreg.Event{Type: "result"},
+		Key:   key, SpecDigest: digest, DesignDigest: ms.DesignDigest,
+		Cached: cached, ModelSet: ms,
+	})
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	ms, ok := s.models.Lookup(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no model set under key %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, &ModelResponse{
+		Key: key, SpecDigest: ms.SpecDigest, DesignDigest: ms.DesignDigest,
+		Cached: true, ModelSet: ms,
+	})
+}
+
+// Models submits one model-extraction request and returns the finished
+// (or cached) model set.
+func (c *Client) Models(ctx context.Context, req ModelRequest) (*ModelResponse, error) {
+	req.Stream = false
+	var out ModelResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/models", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ModelByKey fetches a resident model set by its registry key.
+func (c *Client) ModelByKey(ctx context.Context, key string) (*ModelResponse, error) {
+	var out ModelResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/models/"+key, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ModelsStream submits a model-extraction request in streaming mode:
+// onEvent (optional) observes every progress line, and the terminal
+// result line is returned. A server-side failure arrives as an error
+// even though the HTTP status was already 200 when streaming began.
+func (c *Client) ModelsStream(ctx context.Context, req ModelRequest, onEvent func(modelreg.Event)) (*ModelResponse, error) {
+	req.Stream = true
+	resp, err := c.stream(ctx, "/v1/models", &req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var result *ModelResponse
+	err = scanNDJSON(resp.Body, func(raw []byte) error {
+		var line modelStreamLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return fmt.Errorf("service: decode model stream line: %w", err)
+		}
+		switch line.Type {
+		case "result":
+			result = &ModelResponse{Key: line.Key, SpecDigest: line.SpecDigest,
+				DesignDigest: line.DesignDigest, Cached: line.Cached, ModelSet: line.ModelSet}
+		case "error":
+			return fmt.Errorf("service: model extraction failed: %s", line.Error)
+		default:
+			if onEvent != nil {
+				onEvent(line.Event)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if result == nil {
+		return nil, fmt.Errorf("service: model stream ended without a result line")
+	}
+	return result, nil
+}

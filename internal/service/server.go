@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/modelreg"
 	"repro/internal/runner"
 )
 
@@ -54,6 +55,9 @@ type Options struct {
 	JobTimeout time.Duration
 	// MaxSweepConfigs rejects designs larger than this; <= 0 means 4096.
 	MaxSweepConfigs int
+	// ModelEntries bounds the content-addressed model registry behind
+	// POST /v1/models; <= 0 means 16.
+	ModelEntries int
 	// Apps extends or overrides the bundled application registry.
 	Apps map[string]App
 }
@@ -74,18 +78,27 @@ func (o Options) withDefaults() Options {
 	if o.MaxSweepConfigs <= 0 {
 		o.MaxSweepConfigs = 4096
 	}
+	if o.ModelEntries <= 0 {
+		o.ModelEntries = 16
+	}
 	return o
 }
 
 // Server is the analysis daemon: an http.Handler plus the shared cache
 // and scheduler behind it.
 type Server struct {
-	opts  Options
-	cache *PreparedCache
-	sched *scheduler
-	apps  map[string]App
-	mux   *http.ServeMux
-	start time.Time
+	opts   Options
+	cache  *PreparedCache
+	sched  *scheduler
+	models *modelreg.Registry
+	apps   map[string]App
+	mux    *http.ServeMux
+	start  time.Time
+	// baseCtx scopes work that must outlive any single request (model
+	// registry builds shared by many requesters); stop cancels it on
+	// Close.
+	baseCtx context.Context
+	stop    context.CancelFunc
 }
 
 // NewServer assembles a daemon from opts. Call Close to drain it.
@@ -96,16 +109,20 @@ func NewServer(opts Options) *Server {
 		reg[name] = app
 	}
 	s := &Server{
-		opts:  opts,
-		cache: NewPreparedCache(opts.CacheEntries),
-		sched: newScheduler(opts.Workers, opts.QueueDepth),
-		apps:  reg,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		opts:   opts,
+		cache:  NewPreparedCache(opts.CacheEntries),
+		sched:  newScheduler(opts.Workers, opts.QueueDepth),
+		models: modelreg.NewRegistry(opts.ModelEntries),
+		apps:   reg,
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
 	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/models/{key}", s.handleModelGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -117,8 +134,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Cache exposes the content-addressed store (tests and embedders).
 func (s *Server) Cache() *PreparedCache { return s.cache }
 
-// Close stops accepting jobs and drains the scheduler.
-func (s *Server) Close() { s.sched.close() }
+// Models exposes the content-addressed model registry (tests and
+// embedders).
+func (s *Server) Models() *modelreg.Registry { return s.models }
+
+// Close stops accepting jobs, cancels in-flight model builds, and
+// drains the scheduler.
+func (s *Server) Close() {
+	s.stop()
+	s.sched.close()
+}
 
 // ListenAndServe serves the daemon on addr until ctx is done, then shuts
 // the listener down gracefully and drains the scheduler. It reports the
@@ -173,6 +198,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Workers:  s.opts.Workers,
 		Apps:     names,
 		Cache:    s.cache.Stats(),
+		Models:   s.models.Stats(),
 		Jobs:     s.sched.jobStats(),
 	})
 }

@@ -39,6 +39,7 @@ type TooManyLabelsError struct {
 	Declared int
 }
 
+// Error renders the violation with the declared count and the budget.
 func (e *TooManyLabelsError) Error() string {
 	return fmt.Sprintf("taint: %d distinct taint parameters exceed the %d-parameter mask budget (taint.MaxBaseLabels); drop parameters from the spec or split the analysis into separate parameter sets", e.Declared, MaxBaseLabels)
 }

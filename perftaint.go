@@ -22,6 +22,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/extrap"
+	"repro/internal/modelreg"
 	"repro/internal/runner"
 	"repro/internal/service"
 )
@@ -76,6 +77,23 @@ type (
 	SweepLine = service.SweepLine
 	// JobInfo is the wire view of one scheduled analysis job.
 	JobInfo = service.JobInfo
+	// ModelConfig declares one end-to-end model extraction: the design
+	// to sweep, the parameters to model over, and the fitting cadence.
+	ModelConfig = modelreg.Config
+	// ModelAxis is one swept parameter of a ModelConfig design.
+	ModelAxis = modelreg.Axis
+	// ModelSet is the finished model-extraction artifact: ranked
+	// per-function models with validation diagnostics and parameter
+	// attribution.
+	ModelSet = modelreg.ModelSet
+	// ModelEvent is one progress record of a running model extraction.
+	ModelEvent = modelreg.Event
+	// ModelRequest submits a model extraction to a daemon's
+	// POST /v1/models endpoint.
+	ModelRequest = service.ModelRequest
+	// ModelResponse is a daemon's model-extraction answer (model set
+	// plus its content address and cache provenance).
+	ModelResponse = service.ModelResponse
 )
 
 // Analyze runs the full Perf-Taint pipeline (build, static prune, tainted
@@ -152,3 +170,24 @@ func FitWithPrior(d *Dataset, prior *Prior) (*Model, error) {
 func FitSingle(d *Dataset, param string) (*Model, error) {
 	return extrap.ModelSingle(d, param, extrap.DefaultOptions())
 }
+
+// ExtractModels runs the end-to-end model-extraction pipeline on spec:
+// taint run, streamed measurement sweep over cfg's design, incremental
+// fitting, and the ranked ModelSet with clean-vs-tainted parameter
+// attribution — the paper's output artifact. onEvent (optional)
+// observes progress. It is the programmatic equivalent of
+// `perftaint model -config ...`.
+func ExtractModels(ctx context.Context, spec *Spec, cfg ModelConfig, onEvent func(ModelEvent)) (*ModelSet, error) {
+	p, err := core.Prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	return modelreg.Extract(ctx, runner.New(), p, cfg, onEvent)
+}
+
+// RenderModelMarkdown renders a model set as the Markdown report
+// `perftaint report` emits.
+func RenderModelMarkdown(ms *ModelSet) string { return modelreg.RenderMarkdown(ms) }
+
+// RenderModelHTML renders a model set as a self-contained HTML page.
+func RenderModelHTML(ms *ModelSet) string { return modelreg.RenderHTML(ms) }
