@@ -20,6 +20,15 @@
 //	perftaint model -config examples/modeling/lulesh.json | perftaint report
 //	perftaint model -config ... -addr http://host:7070 > models.json
 //	perftaint report -in models.json -html report.html > report.md
+//
+// The corpus subcommand rebuilds the generated validation corpus
+// (internal/appgen), scores end-to-end model recovery against the
+// analytic ground truth, and checks the result against the blessed
+// manifest — the CI corpus-smoke gate:
+//
+//	perftaint corpus                                   # check, exit 1 on violation
+//	perftaint corpus -report corpus_report.json        # also dump the scored corpus
+//	perftaint corpus -update                           # re-bless the manifest
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/appgen"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/modelreg"
@@ -77,11 +87,14 @@ func main() {
 		case "report":
 			runReport(os.Args[2:])
 			return
+		case "corpus":
+			runCorpus(os.Args[2:])
+			return
 		default:
 			// Anything that isn't a flag is a mistyped subcommand; falling
 			// through to a multi-second local analysis would bury the typo.
 			if !strings.HasPrefix(os.Args[1], "-") {
-				log.Fatalf("unknown subcommand %q (want serve, submit, job, model, report, or stats; "+
+				log.Fatalf("unknown subcommand %q (want serve, submit, job, model, report, corpus, or stats; "+
 					"flags alone run a local analysis)", os.Args[1])
 			}
 		}
@@ -423,6 +436,56 @@ func runReport(args []string) {
 		log.Printf("wrote HTML report to %s", *htmlOut)
 	}
 	fmt.Print(modelreg.RenderMarkdown(&ms))
+}
+
+// runCorpus rebuilds and scores the generated validation corpus, then
+// either re-blesses the manifest (-update) or checks the fresh scores
+// against it, exiting nonzero on any violation.
+func runCorpus(args []string) {
+	fs := flag.NewFlagSet("perftaint corpus", flag.ExitOnError)
+	manifest := fs.String("manifest", "internal/appgen/testdata/corpus_v1.json",
+		"blessed corpus manifest path")
+	update := fs.Bool("update", false, "rewrite the manifest from the fresh build instead of checking")
+	report := fs.String("report", "", "write the freshly scored corpus as JSON to this file")
+	verbose := fs.Bool("v", false, "print per-entry scores")
+	fs.Parse(args)
+
+	built, err := appgen.BuildCorpus(context.Background(), runner.New())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		for _, e := range built.Entries {
+			log.Printf("%-18s funcs=%d precision=%.3f recall=%.3f terms=%d/%d win=%d/%d pruned=%d",
+				e.App, e.Functions, e.Precision, e.Recall,
+				e.TermAgree, e.TermChecked, e.WinNoWorse, e.WinComparable, e.PrunedNoise)
+		}
+	}
+	if *report != "" {
+		if err := appgen.SaveCorpus(*report, built); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote scored corpus to %s", *report)
+	}
+	if *update {
+		if err := appgen.SaveCorpus(*manifest, built); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("re-blessed %s with %d entries", *manifest, len(built.Entries))
+		return
+	}
+	blessed, err := appgen.LoadCorpus(*manifest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	violations := blessed.Check(built)
+	for _, v := range violations {
+		log.Printf("violation: %s", v)
+	}
+	if len(violations) > 0 {
+		log.Fatalf("corpus gate FAILED: %d violation(s) against %s", len(violations), *manifest)
+	}
+	log.Printf("corpus gate passed: %d entries, %d archetypes", len(built.Entries), len(appgen.Archetypes()))
 }
 
 // runStats prints the daemon's cache and scheduler counters.

@@ -1,0 +1,254 @@
+package appgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/runner"
+)
+
+// CorpusVersion names the manifest schema and generator revision. Bump it
+// (and re-bless the manifest) when the generator, the scoring, or the
+// analysis semantics change the expected numbers.
+const CorpusVersion = "corpus-v1"
+
+// Thresholds are the minimum recovery scores the corpus gate enforces.
+// Precision and Recall apply to every entry individually (dependency
+// recovery is expected exact app by app); TermAgreement and WinRate
+// apply to the corpus-wide aggregate because individual entries have
+// checkable populations too small for a stable ratio.
+type Thresholds struct {
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	TermAgreement float64 `json:"term_agreement"`
+	WinRate       float64 `json:"win_rate"`
+}
+
+// DefaultThresholds returns the corpus gates. Dependency recovery is
+// expected to be exact; the term/win gates leave slack for fit-time
+// tie-breaking on individual entries.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Precision: 1, Recall: 1, TermAgreement: 0.9, WinRate: 0.8}
+}
+
+// CorpusEntry pins one (archetype, seed) pair: the generated app's
+// identity, its analytic dependency truth, and the recovery scores the
+// pipeline achieved when the manifest was blessed.
+type CorpusEntry struct {
+	Archetype Archetype `json:"archetype"`
+	Seed      int64     `json:"seed"`
+	App       string    `json:"app"`
+	// Functions counts the spec functions of the generated app.
+	Functions int `json:"functions"`
+	// Deps is the analytic ground truth at the base design point:
+	// function name to sorted dependency parameters, omitting
+	// dependency-free functions. Manifest checks compare this against the
+	// regenerated truth, so silent generator or taint-semantics drift
+	// fails loudly.
+	Deps map[string][]string `json:"deps"`
+	// Blessed recovery scores, recorded for drift visibility; checks gate
+	// on Thresholds, not on these exact values.
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	TermAgreement float64 `json:"term_agreement"`
+	WinRate       float64 `json:"win_rate"`
+	PrunedNoise   int     `json:"pruned_noise"`
+	// Raw term/win counts. Single entries have tiny checkable
+	// populations (a 2/3 ratio is one tie-break away from 3/3), so the
+	// term and win thresholds gate the corpus-wide aggregate of these
+	// counts, not each entry's ratio.
+	TermChecked   int `json:"term_checked"`
+	TermAgree     int `json:"term_agree"`
+	WinComparable int `json:"win_comparable"`
+	WinNoWorse    int `json:"win_no_worse"`
+}
+
+// Corpus is the golden validation corpus manifest
+// (internal/appgen/testdata/corpus_v1.json).
+type Corpus struct {
+	Version    string        `json:"version"`
+	Thresholds Thresholds    `json:"thresholds"`
+	Entries    []CorpusEntry `json:"entries"`
+}
+
+// DefaultCorpusSeeds are the per-archetype seeds of the golden corpus:
+// with the five archetypes this spans 25 apps, comfortably above the 20
+// apps / 4 archetypes acceptance floor.
+func DefaultCorpusSeeds() []int64 { return []int64{1, 2, 3, 4, 5} }
+
+// BuildCorpus generates and scores the full default corpus: every
+// archetype crossed with DefaultCorpusSeeds, each run end-to-end through
+// the recovery pipeline. Entries are emitted in (archetype, seed) order.
+func BuildCorpus(ctx context.Context, run *runner.Runner) (*Corpus, error) {
+	c := &Corpus{Version: CorpusVersion, Thresholds: DefaultThresholds()}
+	for _, arch := range Archetypes() {
+		for _, seed := range DefaultCorpusSeeds() {
+			app, err := Generate(arch, seed)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := Recover(ctx, run, app)
+			if err != nil {
+				return nil, err
+			}
+			deps := make(map[string][]string)
+			for name, ft := range app.Truth.Funcs {
+				if len(ft.Deps) > 0 {
+					deps[name] = ft.Deps
+				}
+			}
+			c.Entries = append(c.Entries, CorpusEntry{
+				Archetype:     arch,
+				Seed:          seed,
+				App:           app.Spec.Name,
+				Functions:     len(app.Spec.Funcs),
+				Deps:          deps,
+				Precision:     sc.Precision,
+				Recall:        sc.Recall,
+				TermAgreement: sc.TermAgreement,
+				WinRate:       sc.WinRate,
+				PrunedNoise:   sc.PrunedNoise,
+				TermChecked:   sc.TermChecked,
+				TermAgree:     sc.TermAgree,
+				WinComparable: sc.WinComparable,
+				WinNoWorse:    sc.WinNoWorse,
+			})
+		}
+	}
+	return c, nil
+}
+
+// Check compares a freshly built corpus against the blessed manifest and
+// returns one human-readable violation per defect: version or entry-set
+// drift, dependency-truth drift, and threshold misses. An empty slice
+// means the corpus gate passes.
+func (c *Corpus) Check(built *Corpus) []string {
+	var bad []string
+	if built.Version != c.Version {
+		bad = append(bad, fmt.Sprintf("corpus version drift: manifest %q, built %q (re-bless with -update)",
+			c.Version, built.Version))
+	}
+	byApp := make(map[string]*CorpusEntry, len(built.Entries))
+	for i := range built.Entries {
+		byApp[built.Entries[i].App] = &built.Entries[i]
+	}
+	for i := range c.Entries {
+		want := &c.Entries[i]
+		got := byApp[want.App]
+		if got == nil {
+			bad = append(bad, fmt.Sprintf("%s: manifest entry missing from built corpus", want.App))
+			continue
+		}
+		delete(byApp, want.App)
+		if got.Functions != want.Functions {
+			bad = append(bad, fmt.Sprintf("%s: function count drift: manifest %d, built %d",
+				want.App, want.Functions, got.Functions))
+		}
+		bad = append(bad, diffDeps(want.App, want.Deps, got.Deps)...)
+		// Dependency recovery is gated per entry: precision and recall
+		// are expected exact on every single app.
+		for _, g := range []struct {
+			name     string
+			min, got float64
+		}{
+			{"precision", c.Thresholds.Precision, got.Precision},
+			{"recall", c.Thresholds.Recall, got.Recall},
+		} {
+			if g.got < g.min {
+				bad = append(bad, fmt.Sprintf("%s: %s %.3f below threshold %.3f",
+					want.App, g.name, g.got, g.min))
+			}
+		}
+	}
+	// Term agreement and win rate are gated on the corpus-wide aggregate:
+	// per-entry checkable populations are tiny.
+	var termChecked, termAgree, winComparable, winNoWorse int
+	for i := range built.Entries {
+		termChecked += built.Entries[i].TermChecked
+		termAgree += built.Entries[i].TermAgree
+		winComparable += built.Entries[i].WinComparable
+		winNoWorse += built.Entries[i].WinNoWorse
+	}
+	if termChecked == 0 {
+		bad = append(bad, "no corpus function was term-checked against its iteration polynomial")
+	} else if r := float64(termAgree) / float64(termChecked); r < c.Thresholds.TermAgreement {
+		bad = append(bad, fmt.Sprintf("corpus term agreement %d/%d = %.3f below threshold %.3f",
+			termAgree, termChecked, r, c.Thresholds.TermAgreement))
+	}
+	if winComparable == 0 {
+		bad = append(bad, "no corpus function was hybrid-vs-black-box comparable")
+	} else if r := float64(winNoWorse) / float64(winComparable); r < c.Thresholds.WinRate {
+		bad = append(bad, fmt.Sprintf("corpus hybrid no-worse rate %d/%d = %.3f below threshold %.3f",
+			winNoWorse, winComparable, r, c.Thresholds.WinRate))
+	}
+	extra := make([]string, 0, len(byApp))
+	for app := range byApp {
+		extra = append(extra, app)
+	}
+	sort.Strings(extra)
+	for _, app := range extra {
+		bad = append(bad, fmt.Sprintf("%s: built entry missing from manifest (re-bless with -update)", app))
+	}
+	return bad
+}
+
+// diffDeps reports per-function dependency drift between the blessed and
+// regenerated truth of one app.
+func diffDeps(app string, want, got map[string][]string) []string {
+	var bad []string
+	names := make(map[string]bool, len(want)+len(got))
+	for n := range want {
+		names[n] = true
+	}
+	for n := range got {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		w, g := want[n], got[n]
+		if len(w) == len(g) {
+			same := true
+			for i := range w {
+				if w[i] != g[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+		}
+		bad = append(bad, fmt.Sprintf("%s: %s dependency drift: manifest %v, built %v", app, n, w, g))
+	}
+	return bad
+}
+
+// LoadCorpus reads a manifest from disk.
+func LoadCorpus(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("appgen: load corpus: %w", err)
+	}
+	var c Corpus
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("appgen: parse corpus %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// SaveCorpus writes a manifest with stable formatting (the re-bless
+// flow: go test ./internal/appgen -update, or perftaint corpus -update).
+func SaveCorpus(path string, c *Corpus) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,292 @@
+package appgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/modelreg"
+	"repro/internal/noise"
+	"repro/internal/runner"
+)
+
+// FuncScore is the recovery verdict of one spec function: recovered
+// dependencies versus analytic truth, plus extrapolation errors of the
+// fitted models at the probe configuration.
+type FuncScore struct {
+	// Function and Kind identify the scored spec function.
+	Function string `json:"function"`
+	Kind     string `json:"kind"`
+	// WantDeps is the analytic dependency truth; GotDeps what the taint
+	// pipeline recovered (empty when the function was not modeled).
+	WantDeps []string `json:"want_deps,omitempty"`
+	GotDeps  []string `json:"got_deps,omitempty"`
+	// Missing lists truth dependencies the pipeline failed to find
+	// (false negatives), Extra dependencies it hallucinated (false
+	// positives). Both empty means exact dependency recovery.
+	Missing []string `json:"missing,omitempty"`
+	Extra   []string `json:"extra,omitempty"`
+	// IterRelErr is the relative error of the hybrid iteration model
+	// against the exact analytic iteration count at the probe
+	// configuration; negative when the function was not term-checked
+	// (unrepresentable truth, no fit, or zero analytic iterations).
+	IterRelErr float64 `json:"iter_rel_err"`
+	// SecondsHybridErr and SecondsBlackBoxErr are the relative errors of
+	// the two seconds models against the noise-free synthetic
+	// measurement at the probe configuration; negative when the
+	// respective fit is absent.
+	SecondsHybridErr   float64 `json:"seconds_hybrid_err"`
+	SecondsBlackBoxErr float64 `json:"seconds_black_box_err"`
+}
+
+// Score aggregates one app's recovery quality.
+type Score struct {
+	// App, Archetype, and Seed identify the scored application.
+	App       string    `json:"app"`
+	Archetype Archetype `json:"archetype"`
+	Seed      int64     `json:"seed"`
+	// Probe is the extrapolation configuration models were evaluated at
+	// (twice every axis maximum — outside the swept design).
+	Probe apps.Config `json:"probe"`
+	// Funcs holds per-function verdicts in spec order.
+	Funcs []FuncScore `json:"funcs"`
+	// TP, FP, and FN count dependency pairs (function, parameter) over
+	// all spec functions: truth deps recovered, hallucinated, missed.
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	FN int `json:"fn"`
+	// Precision and Recall are the dependency-recovery rates; both 1
+	// when their denominators are empty.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	// TermChecked counts functions whose analytic iteration polynomial
+	// is PMNF-representable, whose invocation count is
+	// configuration-independent, and whose hybrid iteration model was
+	// compared at the probe; TermAgree how many agreed within 25%
+	// relative error. TermAgreement is their ratio (1 when none checked).
+	TermChecked   int     `json:"term_checked"`
+	TermAgree     int     `json:"term_agree"`
+	TermAgreement float64 `json:"term_agreement"`
+	// WinComparable counts machine-clean functions (no contention,
+	// imbalance, or hardware scaling, configuration-independent
+	// invocation count) where both seconds fits exist;
+	// WinNoWorse how many of those the hybrid model predicted no worse
+	// than the black-box model at the probe. WinRate is their ratio
+	// (1 when none comparable).
+	WinComparable int     `json:"win_comparable"`
+	WinNoWorse    int     `json:"win_no_worse"`
+	WinRate       float64 `json:"win_rate"`
+	// PrunedNoise counts parameter attributions where the black-box fit
+	// used a parameter the taint proof vetoes — the noise-induced false
+	// dependencies the hybrid pipeline removed (the paper's headline
+	// pruning effect).
+	PrunedNoise int `json:"pruned_noise"`
+	// Points is the number of design points the sweep consumed.
+	Points int `json:"points"`
+}
+
+// Recover runs one generated app through the full extraction pipeline —
+// core.Prepare, the streamed sweep, and modelreg fitting — and scores
+// the resulting model set against the app's analytic truth.
+func Recover(ctx context.Context, run *runner.Runner, app *App) (*Score, error) {
+	prep, err := core.Prepare(app.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("appgen: prepare %s: %w", app.Spec.Name, err)
+	}
+	ms, err := modelreg.Extract(ctx, run, prep, app.Design, nil)
+	if err != nil {
+		return nil, fmt.Errorf("appgen: extract %s: %w", app.Spec.Name, err)
+	}
+	return ScoreModelSet(app, ms)
+}
+
+// ScoreModelSet scores an extracted model set against the app's analytic
+// ground truth. It is deterministic: the probe-point reference values
+// are computed noise-free.
+func ScoreModelSet(app *App, ms *modelreg.ModelSet) (*Score, error) {
+	probe := ProbeConfig(app.Design)
+	sc := &Score{
+		App:       app.Spec.Name,
+		Archetype: app.Archetype,
+		Seed:      app.Seed,
+		Probe:     probe,
+		Points:    ms.Points,
+	}
+
+	got := make(map[string]*modelreg.FunctionModels, len(ms.Functions))
+	relevant := make(map[string]bool, len(ms.Functions))
+	for i := range ms.Functions {
+		fm := &ms.Functions[i]
+		if fm.Kind == "mpi" {
+			continue
+		}
+		got[fm.Function] = fm
+		relevant[fm.Function] = true
+		for _, mm := range fm.Metrics {
+			for _, at := range mm.Attribution {
+				if at.Status == modelreg.AttrPrunedNoise {
+					sc.PrunedNoise++
+				}
+			}
+		}
+	}
+
+	// Probe-point references: exact iteration counts and the noise-free
+	// instrumented measurement under the same taint filter the sweep
+	// measured with.
+	iters := IterationTotals(app.Spec, probe)
+	instrumented := measure.Select(app.Spec, measure.FilterTaint, relevant)
+	clus := cluster.NewRunner(app.Spec)
+	prof, err := clus.Measure(probe, instrumented, 1, noise.Quiet())
+	if err != nil {
+		return nil, fmt.Errorf("appgen: probe measurement %s: %w", app.Spec.Name, err)
+	}
+
+	pv := make(map[string]float64, len(ms.Params))
+	for _, prm := range ms.Params {
+		pv[prm] = probe[prm]
+	}
+
+	for _, f := range app.Spec.Funcs {
+		ft := app.Truth.Funcs[f.Name]
+		fs := FuncScore{
+			Function:           f.Name,
+			Kind:               f.Kind.String(),
+			IterRelErr:         -1,
+			SecondsHybridErr:   -1,
+			SecondsBlackBoxErr: -1,
+		}
+		if ft != nil {
+			fs.WantDeps = ft.Deps
+		}
+		fm := got[f.Name]
+		if fm != nil {
+			fs.GotDeps = fm.Deps
+		}
+		fs.Missing, fs.Extra = diffSets(fs.WantDeps, fs.GotDeps)
+		sc.TP += len(fs.WantDeps) - len(fs.Missing)
+		sc.FP += len(fs.Extra)
+		sc.FN += len(fs.Missing)
+
+		if fm != nil {
+			if mm := metricOf(fm, modelreg.MetricIterations); mm != nil && mm.Hybrid != nil {
+				// Term checks are restricted to functions whose invocation
+				// count is configuration-independent (empty InvParams): a
+				// kernel called iters times has a metric total proportional
+				// to iters*size^d, but the hybrid prior restricts terms to
+				// the kernel's own FuncDeps — the multiplicity factor is
+				// structurally outside its hypothesis space.
+				if truth := float64(iters[f.Name]); truth > 0 && ft != nil &&
+					ft.Representable && len(ft.InvParams) == 0 {
+					fs.IterRelErr = relErr(mm.Hybrid.Eval(pv), truth)
+					sc.TermChecked++
+					if fs.IterRelErr <= 0.25 {
+						sc.TermAgree++
+					}
+				}
+			}
+			if mm := metricOf(fm, modelreg.MetricSeconds); mm != nil {
+				truth := 0.0
+				if vals := prof.FuncSeconds[f.Name]; len(vals) > 0 {
+					truth = vals[0]
+				}
+				if truth > 0 {
+					if mm.Hybrid != nil {
+						fs.SecondsHybridErr = relErr(mm.Hybrid.Eval(pv), truth)
+					}
+					if mm.BlackBox != nil {
+						fs.SecondsBlackBoxErr = relErr(mm.BlackBox.Eval(pv), truth)
+					}
+					if fs.SecondsHybridErr >= 0 && fs.SecondsBlackBoxErr >= 0 &&
+						machineClean(f) && ft != nil && len(ft.InvParams) == 0 {
+						sc.WinComparable++
+						// "No worse" allows a small absolute and relative
+						// slack: at equal quality the hybrid model's
+						// restricted search must not be penalized for
+						// fit-time tie-breaking.
+						if fs.SecondsHybridErr <= fs.SecondsBlackBoxErr+0.02+0.1*fs.SecondsBlackBoxErr {
+							sc.WinNoWorse++
+						}
+					}
+				}
+			}
+		}
+		sc.Funcs = append(sc.Funcs, fs)
+	}
+
+	sc.Precision = ratio(sc.TP, sc.TP+sc.FP)
+	sc.Recall = ratio(sc.TP, sc.TP+sc.FN)
+	sc.TermAgreement = ratio(sc.TermAgree, sc.TermChecked)
+	sc.WinRate = ratio(sc.WinNoWorse, sc.WinComparable)
+	return sc, nil
+}
+
+// machineClean reports whether a function's measured time is fully
+// determined by code-level structure: no contention sensitivity, no
+// imbalance skew, no hardware p-scaling. Only such functions make a fair
+// hybrid-vs-black-box comparison — for the others the black-box fit is
+// allowed to chase machine effects the taint proof correctly excludes.
+func machineClean(f *apps.FuncSpec) bool {
+	return f.MemIntensity == 0 && f.ImbalanceSkew == 0 && f.HWFactorPExp == 0
+}
+
+// metricOf finds the metric entry of one fitted function, or nil.
+func metricOf(fm *modelreg.FunctionModels, metric string) *modelreg.MetricModel {
+	for i := range fm.Metrics {
+		if fm.Metrics[i].Metric == metric {
+			return &fm.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// relErr is |got-want| / |want|.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// ratio divides with the empty-denominator convention of recovery
+// scoring: vacuous populations score perfect.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// diffSets returns want\got (missing) and got\want (extra), preserving
+// sorted order.
+func diffSets(want, got []string) (missing, extra []string) {
+	w := make(map[string]bool, len(want))
+	for _, s := range want {
+		w[s] = true
+	}
+	g := make(map[string]bool, len(got))
+	for _, s := range got {
+		g[s] = true
+	}
+	for _, s := range want {
+		if !g[s] {
+			missing = append(missing, s)
+		}
+	}
+	for _, s := range got {
+		if !w[s] {
+			extra = append(extra, s)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return missing, extra
+}

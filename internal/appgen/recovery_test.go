@@ -1,0 +1,104 @@
+package appgen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// corpusSeeds is the seed range the e2e tests sweep per archetype: 5
+// archetypes x 5 seeds = 25 end-to-end recovery runs (the acceptance
+// floor is 20 apps over 4 archetypes).
+var corpusSeeds = []int64{1, 2, 3, 4, 5}
+
+// TestEndToEndRecovery runs every corpus app through the full pipeline —
+// Prepare, streamed sweep, model fitting — and gates dependency recovery
+// against the analytic truth: micro-averaged precision and recall must
+// both reach 0.9 (they are expected to be exactly 1.0; the slack covers
+// future archetypes with deliberately adversarial structure).
+func TestEndToEndRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end recovery sweep is not a -short test")
+	}
+	type agg struct {
+		tp, fp, fn                int
+		termChecked, termAgree    int
+		winComparable, winNoWorse int
+		prunedNoise, apps, points int
+		perArchetype              map[Archetype]int
+	}
+	results := make(chan *Score, len(Archetypes())*len(corpusSeeds))
+
+	t.Run("sweep", func(t *testing.T) {
+		for _, arch := range Archetypes() {
+			for _, seed := range corpusSeeds {
+				arch, seed := arch, seed
+				t.Run(string(arch)+"/"+string(rune('0'+seed)), func(t *testing.T) {
+					t.Parallel()
+					app, err := Generate(arch, seed)
+					if err != nil {
+						t.Fatalf("Generate: %v", err)
+					}
+					sc, err := Recover(context.Background(), runner.New(), app)
+					if err != nil {
+						t.Fatalf("Recover: %v", err)
+					}
+					for _, f := range sc.Funcs {
+						if len(f.Missing) > 0 || len(f.Extra) > 0 {
+							t.Logf("%s: %s deps want %v got %v", sc.App, f.Function, f.WantDeps, f.GotDeps)
+						}
+					}
+					results <- sc
+				})
+			}
+		}
+	})
+	close(results)
+
+	var a agg
+	a.perArchetype = make(map[Archetype]int)
+	for sc := range results {
+		a.apps++
+		a.points += sc.Points
+		a.perArchetype[sc.Archetype]++
+		a.tp += sc.TP
+		a.fp += sc.FP
+		a.fn += sc.FN
+		a.termChecked += sc.TermChecked
+		a.termAgree += sc.TermAgree
+		a.winComparable += sc.WinComparable
+		a.winNoWorse += sc.WinNoWorse
+		a.prunedNoise += sc.PrunedNoise
+	}
+	if a.apps < 20 {
+		t.Fatalf("e2e sweep covered %d apps, want >= 20", a.apps)
+	}
+	if len(a.perArchetype) < 4 {
+		t.Fatalf("e2e sweep covered %d archetypes, want >= 4", len(a.perArchetype))
+	}
+	precision := ratio(a.tp, a.tp+a.fp)
+	recall := ratio(a.tp, a.tp+a.fn)
+	termAgreement := ratio(a.termAgree, a.termChecked)
+	winRate := ratio(a.winNoWorse, a.winComparable)
+	t.Logf("apps=%d points=%d deps: tp=%d fp=%d fn=%d precision=%.3f recall=%.3f",
+		a.apps, a.points, a.tp, a.fp, a.fn, precision, recall)
+	t.Logf("terms: %d/%d agree (%.3f); win: %d/%d no-worse (%.3f); pruned-noise=%d",
+		a.termAgree, a.termChecked, termAgreement, a.winNoWorse, a.winComparable, winRate, a.prunedNoise)
+
+	if precision < 0.9 {
+		t.Errorf("dependency precision %.3f < 0.9", precision)
+	}
+	if recall < 0.9 {
+		t.Errorf("dependency recall %.3f < 0.9", recall)
+	}
+	if a.termChecked == 0 {
+		t.Error("no function was term-checked against its analytic iteration polynomial")
+	}
+	if termAgreement < 0.9 {
+		t.Errorf("iteration term agreement %.3f < 0.9", termAgreement)
+	}
+	if winRate < 0.85 {
+		t.Errorf("hybrid no-worse rate %.3f < 0.85", winRate)
+	}
+}

@@ -1,0 +1,388 @@
+package appgen
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/libdb"
+)
+
+// Truth is the analytic ground truth of one application resolved at one
+// configuration: per-function parameter dependencies and loop-iteration
+// totals derived from the spec by mirroring the taint semantics of
+// internal/core exactly. "Resolved at a configuration" matters because
+// the dynamic analysis only observes executed statements: branch arms
+// are selected and zero-trip loop bodies skipped with the same integer
+// semantics the lowered IR uses.
+type Truth struct {
+	// Config is the configuration the truth was resolved at (the taint
+	// run's configuration in a recovery run).
+	Config apps.Config
+	// Funcs holds one entry per spec function.
+	Funcs map[string]*FuncTruth
+}
+
+// FuncTruth is the ground truth of one function.
+type FuncTruth struct {
+	// Deps are the code-level parameter dependencies the taint analysis
+	// must find: parameters (including the implicit p) reaching the
+	// function's executed loop bounds or library-call counts, unioned
+	// transitively over executed call edges — exactly the FuncDeps
+	// aggregation of internal/core. Sorted; empty for independent
+	// functions.
+	Deps []string
+	// Executed reports whether the function is invoked at least once.
+	Executed bool
+	// InvParams are the parameters that modulate how OFTEN the function
+	// is invoked: bound parameters of ParamBound loops and condition
+	// parameters of branches enclosing any call site on an executed path
+	// from main, unioned transitively. Per-function metrics (iteration
+	// totals, exclusive seconds) scale with the invocation count, so a
+	// function with non-empty InvParams varies in parameters outside its
+	// own dependency set — the hybrid fit, whose prior restricts terms
+	// to FuncDeps, is structurally unable to express that variation.
+	// Model-quality scoring therefore only compares hybrid and
+	// black-box fits on functions with empty InvParams. Sorted.
+	InvParams []string
+	// Representable reports whether the function's own-loop iteration
+	// count is expressible in the PMNF hypothesis space internal/extrap
+	// searches: every executed parametric bound in the function body has
+	// non-negative exponents no larger than cubic, and at most two
+	// distinct parametric monomials contribute. Divided (per-rank)
+	// bounds like tasks/p floor-divide and fall outside the space; they
+	// still exercise dependency recovery but are excluded from
+	// term-agreement scoring.
+	Representable bool
+}
+
+// ComputeTruth resolves the analytic ground truth of spec at cfg against
+// the library database db (which decides, per MPI routine, the implicit
+// parameters and whether the count argument's taint is recorded).
+func ComputeTruth(s *apps.Spec, db *libdb.DB, cfg apps.Config) *Truth {
+	mpi := make(map[string]bool, len(s.MPIUsed))
+	for _, m := range s.MPIUsed {
+		mpi[m] = true
+	}
+
+	// Per-function pass assuming the function is invoked: direct
+	// dependencies of executed statements and executed call edges. ctl
+	// carries the control-flow taint context — the parameters of
+	// enclosing (non-loop) branch conditions. The engine propagates
+	// explicit control dependence (Section 5.2), so every register
+	// written inside a tainted branch arm inherits the condition's
+	// labels: loop exit conditions of ANY bound kind and message-count
+	// arguments computed under the branch absorb the branch parameter.
+	// The context is function-local — callees start with an empty one,
+	// matching the engine's per-frame control scopes.
+	direct := make(map[string]map[string]bool, len(s.Funcs))
+	edges := make(map[string]map[string]bool, len(s.Funcs))
+	edgeCtx := make(map[string]map[string]map[string]bool, len(s.Funcs))
+	for _, f := range s.Funcs {
+		dep := make(map[string]bool)
+		out := make(map[string]bool)
+		ctxOf := make(map[string]map[string]bool)
+		edgeCtx[f.Name] = ctxOf
+		var walk func(body []apps.Stmt, reached bool, ctl, mult []string)
+		walk = func(body []apps.Stmt, reached bool, ctl, mult []string) {
+			for _, st := range body {
+				switch v := st.(type) {
+				case apps.Loop:
+					// The bound is evaluated (and its labels observed on
+					// the exit condition) whenever the loop statement is
+					// reached, even for zero-trip loops; the body only
+					// runs when the trip count is positive.
+					inner := mult
+					if reached {
+						if v.Kind == apps.ParamBound {
+							for _, prm := range v.Bound.Params() {
+								dep[prm] = true
+							}
+							inner = appendSet(mult, v.Bound.Params()...)
+						}
+						for _, prm := range ctl {
+							dep[prm] = true
+						}
+					}
+					walk(v.Body, reached && boundIters(v, cfg) > 0, ctl, inner)
+				case apps.Branch:
+					walk(branchArm(v, cfg), reached,
+						appendSet(ctl, v.Param), appendSet(mult, v.Param))
+				case apps.Call:
+					if !reached {
+						continue
+					}
+					if !mpi[v.Callee] {
+						out[v.Callee] = true
+						if ctxOf[v.Callee] == nil {
+							ctxOf[v.Callee] = make(map[string]bool)
+						}
+						for _, prm := range mult {
+							ctxOf[v.Callee][prm] = true
+						}
+						continue
+					}
+					e, ok := db.Entries[v.Callee]
+					if !ok || !e.Relevant {
+						continue
+					}
+					for _, prm := range e.ImplicitParams {
+						dep[prm] = true
+					}
+					if e.CountArg >= 0 {
+						if v.CountArg != nil {
+							for _, prm := range v.CountArg.Params() {
+								dep[prm] = true
+							}
+						}
+						// The count register is materialized under the
+						// branch scope, so the recorded call labels
+						// include the control context.
+						for _, prm := range ctl {
+							dep[prm] = true
+						}
+					}
+				}
+			}
+		}
+		walk(f.Body, true, nil, nil)
+		direct[f.Name] = dep
+		edges[f.Name] = out
+	}
+
+	// Executed set: closure from main over executed call edges.
+	executed := make(map[string]bool, len(s.Funcs))
+	var reach func(name string)
+	reach = func(name string) {
+		if executed[name] {
+			return
+		}
+		executed[name] = true
+		for callee := range edges[name] {
+			reach(callee)
+		}
+	}
+	reach(s.Main().Name)
+
+	// Invocation-multiplicity parameters: fixpoint over executed call
+	// edges, seeding each callee with the caller's set plus the edge's
+	// enclosing loop/branch parameters. The graph is acyclic and tiny, so
+	// the loop converges in call-depth passes.
+	invP := make(map[string]map[string]bool, len(s.Funcs))
+	for name := range executed {
+		invP[name] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller := range executed {
+			for callee := range edges[caller] {
+				dst := invP[callee]
+				grow := func(prm string) {
+					if !dst[prm] {
+						dst[prm] = true
+						changed = true
+					}
+				}
+				for prm := range invP[caller] {
+					grow(prm)
+				}
+				for prm := range edgeCtx[caller][callee] {
+					grow(prm)
+				}
+			}
+		}
+	}
+
+	// Transitive dependencies over executed edges (specs are
+	// non-recursive by validation, so plain memoized recursion works).
+	memo := make(map[string]map[string]bool, len(s.Funcs))
+	var deps func(name string) map[string]bool
+	deps = func(name string) map[string]bool {
+		if d, ok := memo[name]; ok {
+			return d
+		}
+		d := make(map[string]bool, len(direct[name]))
+		for prm := range direct[name] {
+			d[prm] = true
+		}
+		memo[name] = d // non-recursive specs: safe to publish before callees
+		for callee := range edges[name] {
+			for prm := range deps(callee) {
+				d[prm] = true
+			}
+		}
+		return d
+	}
+
+	t := &Truth{Config: cfg.Clone(), Funcs: make(map[string]*FuncTruth, len(s.Funcs))}
+	for _, f := range s.Funcs {
+		ft := &FuncTruth{Executed: executed[f.Name]}
+		if ft.Executed {
+			set := deps(f.Name)
+			for prm := range set {
+				ft.Deps = append(ft.Deps, prm)
+			}
+			sort.Strings(ft.Deps)
+			for prm := range invP[f.Name] {
+				ft.InvParams = append(ft.InvParams, prm)
+			}
+			sort.Strings(ft.InvParams)
+			ft.Representable = representable(f, cfg)
+		}
+		t.Funcs[f.Name] = ft
+	}
+	return t
+}
+
+// IterationTotals computes, per function, the exact dynamic loop
+// iteration total a tainted run of the lowered module executes at cfg:
+// per-invocation iteration counts with the integer bound semantics of
+// the IR (Quantity.EvalInt), scaled by invocation counts propagated from
+// main. This is the analytic counterpart of modelreg's MetricIterations.
+func IterationTotals(s *apps.Spec, cfg apps.Config) map[string]int64 {
+	type invInfo struct {
+		iters int64
+		calls map[string]int64
+	}
+	mpi := make(map[string]bool, len(s.MPIUsed))
+	for _, m := range s.MPIUsed {
+		mpi[m] = true
+	}
+	info := make(map[string]*invInfo, len(s.Funcs))
+	for _, f := range s.Funcs {
+		ii := &invInfo{calls: make(map[string]int64)}
+		var walk func(body []apps.Stmt, mult int64)
+		walk = func(body []apps.Stmt, mult int64) {
+			for _, st := range body {
+				switch v := st.(type) {
+				case apps.Loop:
+					n := boundIters(v, cfg)
+					ii.iters += mult * n
+					walk(v.Body, mult*n)
+				case apps.Branch:
+					walk(branchArm(v, cfg), mult)
+				case apps.Call:
+					if !mpi[v.Callee] {
+						ii.calls[v.Callee] += mult
+					}
+				}
+			}
+		}
+		walk(f.Body, 1)
+		info[f.Name] = ii
+	}
+	// Invocation counts top-down from main.
+	inv := make(map[string]int64, len(s.Funcs))
+	var acc func(name string, n int64)
+	acc = func(name string, n int64) {
+		inv[name] += n
+		for callee, per := range info[name].calls {
+			acc(callee, n*per)
+		}
+	}
+	acc(s.Main().Name, 1)
+
+	out := make(map[string]int64, len(s.Funcs))
+	for name, ii := range info {
+		out[name] = inv[name] * ii.iters
+	}
+	return out
+}
+
+// boundIters is the exact trip count of one loop at cfg under the IR's
+// integer lowering: rounded constants for static and runtime-constant
+// bounds, Quantity.EvalInt for parametric ones, clamped at zero.
+func boundIters(l apps.Loop, cfg apps.Config) int64 {
+	var n int64
+	if l.Kind == apps.ParamBound {
+		n = l.Bound.EvalInt(map[string]float64(cfg))
+	} else {
+		n = int64(math.Round(l.Bound.Coeff))
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// branchArm resolves which arm a Branch executes at cfg with the IR's
+// integer comparison semantics (both sides rounded to int64).
+func branchArm(b apps.Branch, cfg apps.Config) []apps.Stmt {
+	if int64(math.Round(cfg[b.Param])) < int64(math.Round(b.Less)) {
+		return b.Then
+	}
+	return b.Else
+}
+
+// representable reports whether f's own-loop iteration polynomial lies
+// in the PMNF hypothesis space: every executed parametric bound uses
+// only non-negative exponents up to 3 (including those inherited from
+// enclosing parametric loops), and at most two distinct parametric
+// monomials contribute iterations.
+func representable(f *apps.FuncSpec, cfg apps.Config) bool {
+	ok := true
+	monos := make(map[string]bool)
+	var walk func(body []apps.Stmt, outer map[string]int, reached bool)
+	walk = func(body []apps.Stmt, outer map[string]int, reached bool) {
+		for _, st := range body {
+			switch v := st.(type) {
+			case apps.Loop:
+				inner := outer
+				if v.Kind == apps.ParamBound && reached {
+					inner = make(map[string]int, len(outer)+len(v.Bound.Pow))
+					for k, p := range outer {
+						inner[k] = p
+					}
+					for k, p := range v.Bound.Pow {
+						inner[k] += p
+					}
+					sig := ""
+					for _, k := range sortedKeys(inner) {
+						switch p := inner[k]; {
+						case p < 0 || p > 3:
+							ok = false
+						case p > 0:
+							sig += k + "^" + string(rune('0'+p)) + " "
+						}
+					}
+					if sig != "" {
+						monos[sig] = true
+					}
+				}
+				walk(v.Body, inner, reached && boundIters(v, cfg) > 0)
+			case apps.Branch:
+				walk(branchArm(v, cfg), outer, reached)
+			}
+		}
+	}
+	walk(f.Body, nil, true)
+	return ok && len(monos) <= 2
+}
+
+// appendSet returns s extended with the vals not already present,
+// without aliasing s's backing array (callers keep sharing prefixes).
+func appendSet(s []string, vals ...string) []string {
+	out := s[:len(s):len(s)]
+	for _, v := range vals {
+		seen := false
+		for _, have := range out {
+			if have == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -154,6 +154,44 @@ func taintRun(t *testing.T, s *Spec, cfgv Config) *taint.Engine {
 	return e
 }
 
+// TestDividedLoopBoundIterations pins the emitQuantity lowering order for
+// divided bounds: size^3/balance must multiply the numerator out before
+// dividing. The seed version divided first, flooring 1/balance to 0, so
+// every region/balance-partitioned loop dynamically executed 0 iterations.
+func TestDividedLoopBoundIterations(t *testing.T) {
+	bound := QP(1, "size", 3).Times("balance", -1)
+	s := &Spec{
+		Name:   "divbound",
+		Params: []string{"size", "balance"},
+		Funcs: []*FuncSpec{{
+			Name: "main",
+			Kind: KindMain,
+			Body: []Stmt{
+				Loop{Kind: ParamBound, Bound: bound, Body: []Stmt{Work{Units: 1}}},
+			},
+		}},
+	}
+	cfgv := Config{"size": 4, "balance": 3, "p": 2}
+	want := bound.EvalInt(map[string]float64(cfgv))
+	if want != 21 { // floor(4^3 / 3), not floor(1/3)*4^3 == 0
+		t.Fatalf("EvalInt = %d, want 21", want)
+	}
+	e := taintRun(t, s, cfgv)
+	var got int64
+	for k, rec := range e.Loops {
+		if k.Func == "main" {
+			got += rec.Iterations
+		}
+	}
+	if got != want {
+		t.Fatalf("divided-bound loop executed %d iterations, want %d", got, want)
+	}
+	deps := e.FuncLoopDeps()["main"]
+	if len(deps) != 2 || deps[0] != "balance" || deps[1] != "size" {
+		t.Fatalf("divided-bound loop deps = %v, want [balance size]", deps)
+	}
+}
+
 func TestLULESHTaintFindsParameterWiring(t *testing.T) {
 	s := LULESH()
 	e := taintRun(t, s, LULESHTaintConfig())

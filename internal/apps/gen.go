@@ -132,7 +132,10 @@ func (g *generator) paramReg(b *ir.Builder, name string) ir.Reg {
 
 // emitQuantity lowers a Quantity to integer arithmetic: round(coeff) *
 // prod(params^pow), with negative powers dividing. A non-positive rounded
-// coefficient becomes 1 so bounds stay executable.
+// coefficient becomes 1 so bounds stay executable. All multiplications are
+// applied before any division so a bound like size^3/regions accumulates
+// the full numerator first — dividing first would floor 1/regions to 0 and
+// the loop would dynamically execute 0 iterations.
 func (g *generator) emitQuantity(b *ir.Builder, q Quantity) ir.Reg {
 	c := int64(math.Round(q.Coeff))
 	if c < 1 {
@@ -145,16 +148,19 @@ func (g *generator) emitQuantity(b *ir.Builder, q Quantity) ir.Reg {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		pow := q.Pow[n]
-		if pow == 0 {
-			continue
+		if pow := q.Pow[n]; pow > 0 {
+			p := g.paramReg(b, n)
+			for k := 0; k < pow; k++ {
+				acc = b.Mul(acc, p)
+			}
 		}
-		p := g.paramReg(b, n)
-		for k := 0; k < pow; k++ {
-			acc = b.Mul(acc, p)
-		}
-		for k := 0; k > pow; k-- {
-			acc = b.Div(acc, p)
+	}
+	for _, n := range names {
+		if pow := q.Pow[n]; pow < 0 {
+			p := g.paramReg(b, n)
+			for k := 0; k > pow; k-- {
+				acc = b.Div(acc, p)
+			}
 		}
 	}
 	return acc
@@ -237,7 +243,7 @@ func (g *generator) emitCall(b *ir.Builder, c Call) error {
 		b.Store(send, 0, b.Const(1))
 		b.Call(c.Callee, send, recv, count)
 	case "MPI_Send", "MPI_Recv", "MPI_Isend", "MPI_Irecv", "MPI_Bcast",
-		"MPI_Gather", "MPI_Allgather":
+		"MPI_Gather", "MPI_Allgather", "MPI_Scatter", "MPI_Alltoall":
 		buf := b.Alloc(count)
 		b.Call(c.Callee, buf, count)
 	case "MPI_Barrier", "MPI_Wait", "MPI_Waitall":

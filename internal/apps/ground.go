@@ -195,6 +195,10 @@ func commCost(cost mpisim.CostModel, name string, p, count float64) float64 {
 		return cost.Allreduce(p, count)
 	case "MPI_Gather", "MPI_Allgather":
 		return cost.Gather(p, count)
+	case "MPI_Scatter":
+		return cost.Scatter(p, count)
+	case "MPI_Alltoall":
+		return cost.Alltoall(p, count)
 	default:
 		return 0
 	}

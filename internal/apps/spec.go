@@ -62,6 +62,44 @@ func (q Quantity) Eval(cfg map[string]float64) float64 {
 	return v
 }
 
+// EvalInt computes the quantity under a configuration with the integer
+// semantics of the lowered IR (see emitQuantity): the rounded coefficient
+// is clamped to at least 1, positive powers multiply first, and negative
+// powers then floor-divide. This is the exact iteration count a ParamBound
+// loop with this bound executes, which is what analytic ground truth for
+// the dynamic engines must use.
+func (q Quantity) EvalInt(cfg map[string]float64) int64 {
+	c := int64(math.Round(q.Coeff))
+	if c < 1 {
+		c = 1
+	}
+	names := make([]string, 0, len(q.Pow))
+	for n := range q.Pow {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if pow := q.Pow[n]; pow > 0 {
+			p := int64(math.Round(cfg[n]))
+			for k := 0; k < pow; k++ {
+				c *= p
+			}
+		}
+	}
+	for _, n := range names {
+		if pow := q.Pow[n]; pow < 0 {
+			p := int64(math.Round(cfg[n]))
+			if p == 0 {
+				return 0
+			}
+			for k := 0; k > pow; k-- {
+				c /= p
+			}
+		}
+	}
+	return c
+}
+
 // Params returns the parameter names with non-zero powers, sorted.
 func (q Quantity) Params() []string {
 	var out []string
@@ -171,6 +209,12 @@ type FuncSpec struct {
 	// HWFactor optionally multiplies the compute time by a
 	// machine-dependent p-power (surface effects, NUMA): exponent over p.
 	HWFactorPExp float64
+	// ImbalanceSkew models rank load imbalance: the measured (critical
+	// path) time of this function stretches by 1 + skew*log2(p) as ranks
+	// straggle. Like contention it is a machine/scheduling effect — the
+	// analytic Ground stays rank-symmetric and the taint analysis cannot
+	// (and must not) derive a code-level p dependence from it.
+	ImbalanceSkew float64
 	// InlineEstimate marks functions the compiler-assisted Score-P default
 	// filter judges inlineable and therefore skips (Section A3). Getters
 	// qualify; notoriously, some performance-relevant kernels do too,

@@ -44,6 +44,17 @@ func (m Machine) ContentionFactor(mem float64, r int) float64 {
 	return 1 + mem*(m.ContLinear*l+m.ContQuad*l*l)
 }
 
+// ImbalanceFactor is the critical-path stretch of a function with load
+// imbalance skew when p ranks participate: the slowest straggler of p
+// ranks lags the mean by roughly skew*log2(p). Like ContentionFactor it
+// is a machine-side effect layered on the rank-symmetric ground truth.
+func (m Machine) ImbalanceFactor(skew float64, p int) float64 {
+	if p <= 1 || skew <= 0 {
+		return 1
+	}
+	return 1 + skew*math.Log2(float64(p))
+}
+
 // RanksPerNode derives the per-node rank count for p total ranks when
 // packed onto as few nodes as possible.
 func (m Machine) RanksPerNode(p int) int {
@@ -179,7 +190,8 @@ func (r *Runner) Measure(cfg apps.Config, instrumented map[string]bool, reps int
 
 	for _, f := range r.Spec.Funcs {
 		cont := r.Machine.ContentionFactor(f.MemIntensity, rpn)
-		trueTime := g.ExclSeconds[f.Name]*cont + g.CommByCaller[f.Name] + ovhOf(f.Name)
+		imb := r.Machine.ImbalanceFactor(f.ImbalanceSkew, p)
+		trueTime := g.ExclSeconds[f.Name]*cont*imb + g.CommByCaller[f.Name] + ovhOf(f.Name)
 		prof.FuncSeconds[f.Name] = src.Repeat(trueTime, reps)
 	}
 	for _, mname := range r.Spec.MPIUsed {
@@ -188,7 +200,7 @@ func (r *Runner) Measure(cfg apps.Config, instrumented map[string]bool, reps int
 		}
 		prof.FuncSeconds[mname] = src.Repeat(g.CommSeconds[mname], reps)
 	}
-	appTrue := g.TotalSeconds()*r.appContention(g, rpn) + totalOvh
+	appTrue := g.TotalSeconds()*r.appFactor(g, rpn, p) + totalOvh
 	prof.AppSeconds = src.Repeat(appTrue, reps)
 	return prof, nil
 }
@@ -246,14 +258,15 @@ func reachesMPI(s *apps.Spec) map[string]bool {
 	return out
 }
 
-// appContention averages the per-function contention weighted by exclusive
-// time, giving the whole-application slowdown.
-func (r *Runner) appContention(g *apps.Ground, rpn int) float64 {
+// appFactor averages the per-function contention and imbalance stretch
+// weighted by exclusive time, giving the whole-application slowdown.
+func (r *Runner) appFactor(g *apps.Ground, rpn, p int) float64 {
 	total, weighted := 0.0, 0.0
 	for _, f := range r.Spec.Funcs {
 		t := g.ExclSeconds[f.Name]
 		total += t
-		weighted += t * r.Machine.ContentionFactor(f.MemIntensity, rpn)
+		weighted += t * r.Machine.ContentionFactor(f.MemIntensity, rpn) *
+			r.Machine.ImbalanceFactor(f.ImbalanceSkew, p)
 	}
 	if total == 0 {
 		return 1

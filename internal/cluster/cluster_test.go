@@ -199,3 +199,64 @@ func TestReachesMPI(t *testing.T) {
 		t.Fatal("unreachable")
 	}
 }
+
+func TestImbalanceFactorShape(t *testing.T) {
+	m := Skylake()
+	if m.ImbalanceFactor(0.3, 1) != 1 {
+		t.Error("single rank cannot straggle")
+	}
+	if m.ImbalanceFactor(0, 64) != 1 {
+		t.Error("zero skew must not stretch")
+	}
+	f16, f64 := m.ImbalanceFactor(0.3, 16), m.ImbalanceFactor(0.3, 64)
+	if !(f64 > f16 && f16 > 1) {
+		t.Errorf("imbalance must grow with p: f(16)=%g f(64)=%g", f16, f64)
+	}
+	// log2 shape: 1 + skew*log2(p).
+	if got, want := m.ImbalanceFactor(0.5, 16), 1+0.5*4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ImbalanceFactor(0.5,16) = %g, want %g", got, want)
+	}
+}
+
+// TestImbalanceStretchesMeasurement pins the Measure-side application: a
+// skewed function's measured time is its analytic ground truth times the
+// imbalance factor, while an unskewed sibling stays at ground truth. The
+// ground truth itself must remain rank-symmetric (no skew term).
+func TestImbalanceStretchesMeasurement(t *testing.T) {
+	s := &apps.Spec{
+		Name:   "imb",
+		Params: []string{"n"},
+		Funcs: []*apps.FuncSpec{
+			{Name: "main", Kind: apps.KindMain, Body: []apps.Stmt{
+				apps.Call{Callee: "worker"}, apps.Call{Callee: "steady"},
+			}},
+			{Name: "worker", Kind: apps.KindKernel, WorkNanos: 10, ImbalanceSkew: 0.4,
+				Body: []apps.Stmt{apps.Loop{Kind: apps.ParamBound, Bound: apps.QP(1, "n", 1),
+					Body: []apps.Stmt{apps.Work{Units: 100}}}}},
+			{Name: "steady", Kind: apps.KindKernel, WorkNanos: 10,
+				Body: []apps.Stmt{apps.Loop{Kind: apps.ParamBound, Bound: apps.QP(1, "n", 1),
+					Body: []apps.Stmt{apps.Work{Units: 100}}}}},
+		},
+	}
+	r := NewRunner(s)
+	r.RanksPerNodeOverride = 1 // no contention, isolate the imbalance term
+	cfg := apps.Config{"n": 50, "p": 16}
+	g, err := apps.Evaluate(s, cfg, r.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := r.Measure(cfg, nil, 1, noise.Quiet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWorker := g.ExclSeconds["worker"] * r.Machine.ImbalanceFactor(0.4, 16)
+	if got := prof.FuncSeconds["worker"][0]; math.Abs(got-wantWorker) > 1e-12*wantWorker {
+		t.Errorf("worker measured %g, want %g (ground %g stretched)", got, wantWorker, g.ExclSeconds["worker"])
+	}
+	if got, want := prof.FuncSeconds["steady"][0], g.ExclSeconds["steady"]; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("steady measured %g, want ground truth %g", got, want)
+	}
+	if g.ExclSeconds["worker"] != g.ExclSeconds["steady"] {
+		t.Error("ground truth must stay rank-symmetric: skew is a measurement effect")
+	}
+}

@@ -15,7 +15,7 @@ import (
 // semantics change in a way that invalidates cached Prepared artifacts
 // (new static pass, different predecoding, ...): old and new processes
 // then address disjoint cache entries instead of sharing stale ones.
-const digestVersion = "perftaint-prepared-v1"
+const digestVersion = "perftaint-prepared-v2"
 
 // SpecDigest returns the content address of a spec: a hex SHA-256 over a
 // canonical encoding of everything the analysis pipeline can observe — the
@@ -45,6 +45,7 @@ func SpecDigest(spec *apps.Spec) string {
 		w.f64(f.WorkNanos)
 		w.f64(f.MemIntensity)
 		w.f64(f.HWFactorPExp)
+		w.f64(f.ImbalanceSkew)
 		w.bool(f.InlineEstimate)
 		w.body(f.Body)
 	}

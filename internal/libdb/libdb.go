@@ -105,6 +105,8 @@ func DefaultMPI() *DB {
 		{Name: "MPI_Allreduce", Relevant: true, ImplicitParams: []string{MPIParam}, SourceArg: -1, CountArg: 2, Shape: CostMLogP},
 		{Name: "MPI_Gather", Relevant: true, ImplicitParams: []string{MPIParam}, SourceArg: -1, CountArg: 1, Shape: CostLinearP},
 		{Name: "MPI_Allgather", Relevant: true, ImplicitParams: []string{MPIParam}, SourceArg: -1, CountArg: 1, Shape: CostLinearP},
+		{Name: "MPI_Scatter", Relevant: true, ImplicitParams: []string{MPIParam}, SourceArg: -1, CountArg: 1, Shape: CostLinearP},
+		{Name: "MPI_Alltoall", Relevant: true, ImplicitParams: []string{MPIParam}, SourceArg: -1, CountArg: 1, Shape: CostLinearP},
 	} {
 		db.Add(e)
 	}

@@ -226,7 +226,7 @@ func (c Config) largestConfig() apps.Config {
 // designDigestVersion salts every design digest; bump it when the
 // pipeline's fitting semantics change so stale cached model sets are
 // never served for new behaviour.
-const designDigestVersion = "perftaint-modelset-v1"
+const designDigestVersion = "perftaint-modelset-v2"
 
 // DesignDigest returns the canonical content address of the modeling
 // design: a hex SHA-256 over every field that influences the fitted

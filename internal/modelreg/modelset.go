@@ -86,12 +86,34 @@ type MetricModel struct {
 	Reliable bool    `json:"reliable"`
 }
 
+// FitFactor is one single-parameter factor of a PMNF term in wire form:
+// Param^I * log2(Param)^J.
+type FitFactor struct {
+	Param string  `json:"param"`
+	I     float64 `json:"i,omitempty"`
+	J     float64 `json:"j,omitempty"`
+}
+
+// FitTerm is one additive PMNF summand in wire form: Coeff times the
+// product of its factors.
+type FitTerm struct {
+	Coeff   float64     `json:"coeff"`
+	Factors []FitFactor `json:"factors,omitempty"`
+}
+
 // ModelFit is one fitted PMNF model with its validation diagnostics.
 type ModelFit struct {
 	// Expr is the human-readable model in the paper's notation.
 	Expr string `json:"expr"`
 	// Params are the parameters the model actually uses.
 	Params []string `json:"params,omitempty"`
+	// Intercept and Terms carry the fitted model in evaluable wire form
+	// (Expr is its rendering): prediction = Intercept + sum of terms.
+	// Downstream consumers — the recovery validation harness, clients of
+	// the service API — evaluate models at unseen configurations through
+	// Eval without reparsing Expr.
+	Intercept float64   `json:"intercept"`
+	Terms     []FitTerm `json:"terms,omitempty"`
 	// Constant reports a parameter-free model.
 	Constant bool `json:"constant"`
 	// Multiplicative reports a term coupling two or more parameters.
@@ -145,6 +167,7 @@ func newModelFit(d *extrap.Dataset, m *extrap.Model) *ModelFit {
 	f := &ModelFit{
 		Expr:           m.String(),
 		Params:         m.Params(),
+		Intercept:      finiteOr(m.Constant, 0),
 		Constant:       m.IsConstant(),
 		Multiplicative: m.Multiplicative(),
 		SMAPE:          finiteOr(m.SMAPE, -1),
@@ -152,7 +175,45 @@ func newModelFit(d *extrap.Dataset, m *extrap.Model) *ModelFit {
 		AdjR2:          finiteOr(adjustedR2(d, m), -1),
 		RSS:            finiteOr(m.RSS, -1),
 	}
+	for _, t := range m.Terms {
+		wt := FitTerm{Coeff: finiteOr(t.Coeff, 0)}
+		names := make([]string, 0, len(t.Factors))
+		for n, pl := range t.Factors {
+			if !pl.IsUnit() {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			pl := t.Factors[n]
+			wt.Factors = append(wt.Factors, FitFactor{Param: n, I: pl.I, J: pl.J})
+		}
+		f.Terms = append(f.Terms, wt)
+	}
 	return f
+}
+
+// Eval computes the fitted model's prediction at a configuration,
+// mirroring extrap's evaluation semantics (parameters below 1 are
+// clamped so log factors stay finite).
+func (f *ModelFit) Eval(params map[string]float64) float64 {
+	v := f.Intercept
+	for _, t := range f.Terms {
+		tv := t.Coeff
+		for _, fa := range t.Factors {
+			x := params[fa.Param]
+			if x < 1 {
+				x = 1
+			}
+			fv := math.Pow(x, fa.I)
+			if fa.J != 0 {
+				fv *= math.Pow(math.Log2(x), fa.J)
+			}
+			tv *= fv
+		}
+		v += tv
+	}
+	return v
 }
 
 // adjustedR2 computes 1 - (1-R2)(n-1)/(n-k-1) for a model with k

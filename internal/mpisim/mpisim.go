@@ -223,10 +223,63 @@ func (r *Rank) Gather(root int, data []int64) ([][]int64, error) {
 	return out, nil
 }
 
+// Scatter distributes chunks[i] from root to rank i; every rank returns
+// its own chunk. Only root reads chunks (others may pass nil), mirroring
+// MPI_Scatter's root-significant send buffer.
+func (r *Rank) Scatter(root int, chunks [][]int64) ([]int64, error) {
+	if r.ID == root {
+		if len(chunks) != r.W.Size {
+			return nil, fmt.Errorf("mpisim: scatter wants %d chunks, got %d", r.W.Size, len(chunks))
+		}
+		for dst := 0; dst < r.W.Size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.Send(dst, tagScatter, chunks[dst]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]int64(nil), chunks[root]...), nil
+	}
+	m, err := r.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Alltoall performs the complete exchange: rank r sends chunks[j] to rank
+// j and returns the vector of chunks received, indexed by source rank.
+func (r *Rank) Alltoall(chunks [][]int64) ([][]int64, error) {
+	if len(chunks) != r.W.Size {
+		return nil, fmt.Errorf("mpisim: alltoall wants %d chunks, got %d", r.W.Size, len(chunks))
+	}
+	for dst := 0; dst < r.W.Size; dst++ {
+		if dst == r.ID {
+			continue
+		}
+		if err := r.Send(dst, tagAlltoall, chunks[dst]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]int64, r.W.Size)
+	out[r.ID] = append([]int64(nil), chunks[r.ID]...)
+	for i := 0; i < r.W.Size-1; i++ {
+		m, err := r.Recv(-1, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Source] = m.Data
+	}
+	return out, nil
+}
+
 const (
 	tagBcast = -100 - iota
 	tagReduce
 	tagGather
+	tagScatter
+	tagAlltoall
 )
 
 // CostModel is the analytical communication cost model: alpha latency
@@ -278,4 +331,22 @@ func (c CostModel) Gather(p, m float64) float64 {
 		return 0
 	}
 	return c.Alpha*math.Ceil(math.Log2(p)) + c.Beta*m*(p-1)
+}
+
+// Scatter returns alpha*log2(p) + beta*m*(p-1): the root pushes p-1
+// chunks, with a binomial-tree latency term — the mirror image of Gather.
+func (c CostModel) Scatter(p, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return c.Alpha*math.Ceil(math.Log2(p)) + c.Beta*m*(p-1)
+}
+
+// Alltoall returns (p-1)*(alpha + beta*m) for the pairwise complete
+// exchange: every rank trades an m-element chunk with each peer.
+func (c CostModel) Alltoall(p, m float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return (p - 1) * (c.Alpha + c.Beta*m)
 }

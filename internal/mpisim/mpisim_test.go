@@ -184,3 +184,91 @@ func TestCostModelShapes(t *testing.T) {
 		t.Fatal("empty message must cost alpha")
 	}
 }
+
+func TestScatterDistributesChunks(t *testing.T) {
+	w, _ := NewWorld(4)
+	err := w.Run(func(r *Rank) error {
+		var chunks [][]int64
+		if r.ID == 1 {
+			for i := 0; i < 4; i++ {
+				chunks = append(chunks, []int64{int64(10 * i), int64(10*i + 1)})
+			}
+		}
+		got, err := r.Scatter(1, chunks)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != int64(10*r.ID) || got[1] != int64(10*r.ID+1) {
+			t.Errorf("rank %d scatter chunk = %v", r.ID, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterRejectsWrongChunkCount(t *testing.T) {
+	w, _ := NewWorld(2)
+	err := w.Run(func(r *Rank) error {
+		if r.ID != 0 {
+			return nil
+		}
+		_, err := r.Scatter(0, [][]int64{{1}})
+		if err == nil {
+			t.Error("expected chunk-count error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallCompleteExchange(t *testing.T) {
+	const n = 4
+	w, _ := NewWorld(n)
+	err := w.Run(func(r *Rank) error {
+		chunks := make([][]int64, n)
+		for dst := range chunks {
+			chunks[dst] = []int64{int64(100*r.ID + dst)}
+		}
+		got, err := r.Alltoall(chunks)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < n; src++ {
+			if len(got[src]) != 1 || got[src][0] != int64(100*src+r.ID) {
+				t.Errorf("rank %d from %d = %v, want [%d]", r.ID, src, got[src], 100*src+r.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterAlltoallCostShapes(t *testing.T) {
+	c := DefaultCost()
+	// Single-rank communicators communicate nothing.
+	if c.Scatter(1, 64) != 0 || c.Alltoall(1, 64) != 0 {
+		t.Fatal("p=1 collectives must cost 0")
+	}
+	// Both grow with p and with m.
+	if !(c.Scatter(16, 64) > c.Scatter(4, 64)) || !(c.Scatter(8, 256) > c.Scatter(8, 64)) {
+		t.Error("scatter cost must grow with p and m")
+	}
+	if !(c.Alltoall(16, 64) > c.Alltoall(4, 64)) || !(c.Alltoall(8, 256) > c.Alltoall(8, 64)) {
+		t.Error("alltoall cost must grow with p and m")
+	}
+	// Alltoall is pairwise-linear: exactly (p-1)*(alpha+beta*m).
+	p, m := 8.0, 32.0
+	if got, want := c.Alltoall(p, m), (p-1)*(c.Alpha+c.Beta*m); math.Abs(got-want) > 1e-18 {
+		t.Errorf("alltoall(%g,%g) = %g, want %g", p, m, got, want)
+	}
+	// Scatter mirrors Gather's shape.
+	if c.Scatter(8, 32) != c.Gather(8, 32) {
+		t.Error("scatter and gather are mirror images under the linear model")
+	}
+}
