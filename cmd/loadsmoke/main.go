@@ -1,0 +1,316 @@
+// Command loadsmoke is the CI load-and-restart check for the hardened
+// analysis daemon. It launches a real perftaintd process with a
+// persistent cache dir and a per-client rate limit, drives it with N
+// concurrent clients submitting mixed traffic (single analyses, NDJSON
+// sweeps, model extractions, stats polls), then kills the daemon and
+// starts a fresh one over the same cache dir. It exits non-zero unless:
+//
+//   - no request ever answered a 5xx during the storm;
+//   - the admission limiter engaged (at least one 429 with Retry-After);
+//   - the restarted daemon serves previously-extracted state from disk
+//     (disk-hit counters > 0, model set answered with zero rebuilds);
+//   - GET /metrics scrapes cleanly on both daemons.
+//
+// The final /metrics scrape is written to -metrics-out so CI can attach
+// it as an artifact.
+//
+//	go build -o bin/perftaintd ./cmd/perftaintd
+//	go run ./cmd/loadsmoke -daemon bin/perftaintd -clients 8
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadsmoke: ")
+	daemon := flag.String("daemon", "", "path to the perftaintd binary (required)")
+	clients := flag.Int("clients", 8, "concurrent load-generating clients")
+	perClient := flag.Int("requests", 12, "requests each client submits")
+	rate := flag.Float64("rate", 1, "per-client admission rate handed to the daemon (low enough that a 12-request burst must trip it)")
+	metricsOut := flag.String("metrics-out", "loadsmoke_metrics.txt", "file the final /metrics scrape is written to")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall smoke deadline")
+	flag.Parse()
+	if *daemon == "" {
+		log.Fatal("-daemon is required: loadsmoke exists to exercise a real process restart")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *daemon, *clients, *perClient, *rate, *metricsOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loadsmoke: OK — no 5xx under load, limiter engaged, restart served from disk")
+}
+
+// counters aggregates client-side observations across the storm.
+type counters struct {
+	ok          atomic.Uint64
+	rateLimited atomic.Uint64
+	serverErrs  atomic.Uint64
+	otherErrs   atomic.Uint64
+}
+
+func run(ctx context.Context, daemon string, clients, perClient int, rate float64, metricsOut string) error {
+	cacheDir, err := os.MkdirTemp("", "loadsmoke-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// --- Phase 1: storm a rate-limited daemon with mixed traffic. ---
+	base, stop, err := startDaemon(ctx, daemon,
+		"-cache-dir", cacheDir, "-rate", fmt.Sprint(rate), "-workers", "4")
+	if err != nil {
+		return err
+	}
+	var cnt counters
+	if err := storm(ctx, base, clients, perClient, &cnt); err != nil {
+		stop()
+		return err
+	}
+	fmt.Printf("loadsmoke: storm: %d ok, %d rate-limited, %d server errors, %d other errors\n",
+		cnt.ok.Load(), cnt.rateLimited.Load(), cnt.serverErrs.Load(), cnt.otherErrs.Load())
+	if cnt.serverErrs.Load() > 0 {
+		stop()
+		return fmt.Errorf("%d responses were 5xx under load", cnt.serverErrs.Load())
+	}
+	if cnt.rateLimited.Load() == 0 {
+		stop()
+		return fmt.Errorf("limiter never engaged: %d clients x %d requests all admitted at rate %g",
+			clients, perClient, rate)
+	}
+	if cnt.ok.Load() == 0 {
+		stop()
+		return fmt.Errorf("no request succeeded — the limiter starved everything")
+	}
+	// Extract a model set so the restart has a zero-rebuild artifact to
+	// serve, and scrape /metrics once while warm.
+	client := service.NewClient(base)
+	first, err := client.Models(ctx, modelRequest())
+	if err != nil {
+		stop()
+		return fmt.Errorf("model extraction before restart: %w", err)
+	}
+	if _, err := scrapeMetrics(ctx, base, ""); err != nil {
+		stop()
+		return fmt.Errorf("metrics scrape before restart: %w", err)
+	}
+	stop() // SIGINT + wait: the graceful-drain path, not a hard kill
+
+	// --- Phase 2: a fresh process over the same cache dir. ---
+	base2, stop2, err := startDaemon(ctx, daemon, "-cache-dir", cacheDir, "-workers", "4")
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	client2 := service.NewClient(base2)
+	warm, err := client2.Models(ctx, modelRequest())
+	if err != nil {
+		return fmt.Errorf("model extraction after restart: %w", err)
+	}
+	if !warm.Cached {
+		return fmt.Errorf("restarted daemon rebuilt the model set instead of serving the disk tier")
+	}
+	if warm.Key != first.Key {
+		return fmt.Errorf("model key drifted across restart: %s vs %s", warm.Key, first.Key)
+	}
+	if _, err := client2.Analyze(ctx, service.AnalyzeRequest{App: "lulesh"}); err != nil {
+		return fmt.Errorf("analyze after restart: %w", err)
+	}
+	st, err := client2.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats after restart: %w", err)
+	}
+	if st.Models.DiskHits == 0 {
+		return fmt.Errorf("restarted registry reports %d disk hits, want > 0 (stats: %+v)", st.Models.DiskHits, st.Models)
+	}
+	if st.Cache.DiskHits == 0 {
+		return fmt.Errorf("restarted PreparedCache reports %d disk hits, want > 0 (stats: %+v)", st.Cache.DiskHits, st.Cache)
+	}
+	fmt.Printf("loadsmoke: restart: model disk hits=%d, prepared disk hits=%d, cold misses=%d\n",
+		st.Models.DiskHits, st.Cache.DiskHits, st.Models.Misses+st.Cache.Misses)
+
+	// Final scrape, kept as the CI artifact; sanity-check the disk-hit
+	// family is present and non-zero in the exposition itself.
+	text, err := scrapeMetrics(ctx, base2, metricsOut)
+	if err != nil {
+		return fmt.Errorf("metrics scrape after restart: %w", err)
+	}
+	if !strings.Contains(text, `perftaintd_cache_disk_hits_total{cache="models"}`) {
+		return fmt.Errorf("/metrics exposition is missing the disk-hit family")
+	}
+	return nil
+}
+
+// modelRequest is the small LULESH modeling design both phases submit;
+// identical bytes, so the second phase addresses the first's artifact.
+func modelRequest() service.ModelRequest {
+	return service.ModelRequest{
+		App:    "lulesh",
+		Params: []string{"p", "size"},
+		Axes: []service.SweepAxis{
+			{Param: "p", Values: []float64{2, 4}},
+			{Param: "size", Values: []float64{4, 5}},
+		},
+		Reps: 2, Seed: 3, Batch: 2,
+	}
+}
+
+// storm runs the mixed-traffic load: each client loops over analyze,
+// sweep, and stats requests under its own X-Client-ID, classifying every
+// outcome. 429s are expected (the point of the limiter); 5xx are fatal.
+func storm(ctx context.Context, base string, clients, perClient int, cnt *counters) error {
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := fmt.Sprintf("loadsmoke-%d", c)
+			hc := &http.Client{Transport: clientIDTransport{id: id}}
+			cl := &service.Client{BaseURL: base, HTTP: hc}
+			for i := 0; i < perClient; i++ {
+				var err error
+				switch i % 4 {
+				case 0, 1:
+					_, err = cl.Analyze(ctx, service.AnalyzeRequest{App: "lulesh"})
+				case 2:
+					err = cl.Sweep(ctx, service.SweepRequest{
+						App:  "lulesh",
+						Axes: []service.SweepAxis{{Param: "p", Values: []float64{2, 4}}},
+					}, func(service.SweepLine) error { return nil })
+				default:
+					_, err = cl.Stats(ctx)
+				}
+				classify(err, cnt)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// classify buckets one request outcome.
+func classify(err error, cnt *counters) {
+	if err == nil {
+		cnt.ok.Add(1)
+		return
+	}
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		switch {
+		case apiErr.StatusCode == http.StatusTooManyRequests:
+			cnt.rateLimited.Add(1)
+		case apiErr.StatusCode >= 500:
+			cnt.serverErrs.Add(1)
+		default:
+			cnt.otherErrs.Add(1)
+		}
+		return
+	}
+	cnt.otherErrs.Add(1)
+}
+
+// clientIDTransport stamps every request with a stable X-Client-ID so
+// each simulated client owns its own admission bucket.
+type clientIDTransport struct{ id string }
+
+// RoundTrip implements http.RoundTripper.
+func (t clientIDTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req.Header.Set(service.ClientIDHeader, t.id)
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// scrapeMetrics GETs /metrics, optionally writing the exposition to out.
+func scrapeMetrics(ctx context.Context, base, out string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain; version=0.0.4") {
+		return "", fmt.Errorf("unexpected /metrics content type %q", resp.Header.Get("Content-Type"))
+	}
+	if out != "" {
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return string(raw), nil
+}
+
+// startDaemon launches the perftaintd binary on an OS-assigned port with
+// extra flags and returns the base URL plus a stop function that sends
+// SIGINT and waits for the graceful drain.
+func startDaemon(ctx context.Context, path string, extra ...string) (string, func(), error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.CommandContext(ctx, path, args...)
+	cmd.Stdout = os.Stderr
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("start daemon %s: %w", path, err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		re := regexp.MustCompile(`listening on (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, line)
+			if !announced {
+				if m := re.FindStringSubmatch(line); m != nil {
+					announced = true
+					addrc <- m[1]
+				}
+			}
+		}
+		close(addrc)
+	}()
+	stop := func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		_ = cmd.Wait()
+	}
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			stop()
+			return "", nil, fmt.Errorf("daemon exited before announcing its address")
+		}
+		return "http://" + addr, stop, nil
+	case <-ctx.Done():
+		stop()
+		return "", nil, fmt.Errorf("daemon never announced its address: %w", ctx.Err())
+	}
+}

@@ -182,15 +182,26 @@ func runServe(args []string) {
 	jobTimeout := fs.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 	queueDepth := fs.Int("queue-depth", 1024, "maximum queued jobs")
 	modelEntries := fs.Int("model-entries", 16, "model registry capacity")
+	cacheDir := fs.String("cache-dir", "", "persistent cache root (empty = memory only)")
+	rate := fs.Float64("rate", 0, "per-client admission rate in tokens/second (0 = unlimited)")
+	burst := fs.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
+	maxBody := fs.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
 	fs.Parse(args)
 
-	srv := service.NewServer(service.Options{
+	srv, err := service.NewServer(service.Options{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		JobTimeout:   *jobTimeout,
 		QueueDepth:   *queueDepth,
 		ModelEntries: *modelEntries,
+		CacheDir:     *cacheDir,
+		Rate:         *rate,
+		Burst:        *burst,
+		MaxBodyBytes: *maxBody,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	ready := make(chan string, 1)

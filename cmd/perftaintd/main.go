@@ -33,6 +33,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default per-job deadline")
 	queueDepth := flag.Int("queue-depth", 1024, "maximum queued jobs")
 	modelEntries := flag.Int("model-entries", 16, "model registry capacity (distinct spec+design contents)")
+	cacheDir := flag.String("cache-dir", "", "persistent cache root for prepared specs and model sets; restarts start warm (empty = memory only)")
+	rate := flag.Float64("rate", 0, "per-client admission rate in tokens/second (1 analysis = 1 token, sweeps cost design size); 0 disables rate limiting")
+	burst := flag.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
+	maxBody := flag.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
 	pprofAddr := flag.String("pprof", "", "optional debug listen address for net/http/pprof (e.g. 127.0.0.1:6060); disabled when empty")
 	flag.Parse()
 
@@ -49,13 +53,20 @@ func main() {
 		}()
 	}
 
-	srv := service.NewServer(service.Options{
+	srv, err := service.NewServer(service.Options{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		QueueDepth:   *queueDepth,
 		JobTimeout:   *jobTimeout,
 		ModelEntries: *modelEntries,
+		CacheDir:     *cacheDir,
+		Rate:         *rate,
+		Burst:        *burst,
+		MaxBodyBytes: *maxBody,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

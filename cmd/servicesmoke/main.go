@@ -125,7 +125,10 @@ func run(ctx context.Context, daemon, goldenPath string) error {
 // processes on a busy CI runner.
 func startDaemon(ctx context.Context, path string) (string, func(), error) {
 	if path == "" {
-		srv := service.NewServer(service.Options{})
+		srv, err := service.NewServer(service.Options{})
+		if err != nil {
+			return "", nil, err
+		}
 		ready := make(chan string, 1)
 		sctx, cancel := context.WithCancel(ctx)
 		done := make(chan error, 1)

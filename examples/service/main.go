@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	perftaint "repro"
 )
@@ -22,12 +23,24 @@ import (
 func main() {
 	log.SetFlags(0)
 
+	// A persistent cache root: everything the daemon prepares or extracts
+	// is written through here, so a restarted daemon starts warm. In
+	// production this is `perftaintd -cache-dir /var/cache/perftaintd`.
+	cacheDir, err := os.MkdirTemp("", "perftaintd-cache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
 	// 1. Start the daemon on a loopback port. In production this is
 	//    `perftaintd -addr :7070 -workers 8 -cache-entries 16`.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ready := make(chan string, 1)
-	srv := perftaint.NewServer(perftaint.ServerOptions{Workers: 4, CacheEntries: 8})
+	srv, err := perftaint.NewServer(perftaint.ServerOptions{Workers: 4, CacheEntries: 8, CacheDir: cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(ctx, "127.0.0.1:0", ready) }()
 	addr := <-ready
@@ -89,8 +102,59 @@ func main() {
 	fmt.Printf("cache: %d hits / %d misses / %d entries; jobs completed: %d\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Entries, st.Jobs.Completed)
 
+	// 6. Extract a model set — the expensive sweep-and-fit artifact the
+	//    persistent tier is really for.
+	modelReq := perftaint.ModelRequest{
+		App:    "lulesh",
+		Params: []string{"p", "size"},
+		Axes: []perftaint.SweepAxis{
+			{Param: "p", Values: []float64{2, 4}},
+			{Param: "size", Values: []float64{4, 5}},
+		},
+		Reps: 2, Seed: 3,
+	}
+	ms, err := client.Models(ctx, modelReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model set %s...: %d functions, cached=%v\n", ms.Key[:16], len(ms.ModelSet.Functions), ms.Cached)
+
+	// 7. Kill the daemon and start a fresh one over the same cache dir:
+	//    the restart serves the model set from disk with zero rebuilds
+	//    (no sweep, no fit) and re-prepares the spec at most once.
 	cancel()
 	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("daemon stopped; restarting over the same cache dir")
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	srv2, err := perftaint.NewServer(perftaint.ServerOptions{Workers: 4, CacheEntries: 8, CacheDir: cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ready2 := make(chan string, 1)
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.ListenAndServe(ctx2, "127.0.0.1:0", ready2) }()
+	client2 := perftaint.NewClient("http://" + <-ready2)
+
+	warm, err := client2.Models(ctx2, modelReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st2, err := client2.Stats(ctx2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after restart: model cached=%v, model disk hits=%d, prepared disk hits=%d, cold misses=%d\n",
+		warm.Cached, st2.Models.DiskHits, st2.Cache.DiskHits, st2.Models.Misses+st2.Cache.Misses)
+	if !warm.Cached || st2.Models.DiskHits == 0 {
+		log.Fatal("restart did not serve the model set from disk")
+	}
+
+	cancel2()
+	if err := <-done2; err != nil {
 		log.Fatal(err)
 	}
 }

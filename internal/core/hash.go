@@ -1,21 +1,24 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"hash"
+	"io"
 	"sort"
 	"strconv"
 
 	"repro/internal/apps"
 )
 
-// digestVersion salts every spec digest. Bump it whenever the pipeline's
+// DigestVersion salts every spec digest. Bump it whenever the pipeline's
 // semantics change in a way that invalidates cached Prepared artifacts
 // (new static pass, different predecoding, ...): old and new processes
-// then address disjoint cache entries instead of sharing stale ones.
-const digestVersion = "perftaint-prepared-v2"
+// then address disjoint cache entries instead of sharing stale ones. The
+// disk-backed cache tier also uses it as the version stamp of its on-disk
+// root, so a bump orphans (rather than reinterprets) persisted entries.
+const DigestVersion = "perftaint-prepared-v2"
 
 // SpecDigest returns the content address of a spec: a hex SHA-256 over a
 // canonical encoding of everything the analysis pipeline can observe — the
@@ -33,8 +36,26 @@ const digestVersion = "perftaint-prepared-v2"
 // digests imply interchangeable Prepared values.
 func SpecDigest(spec *apps.Spec) string {
 	h := sha256.New()
-	w := specWriter{h: h}
-	w.str(digestVersion)
+	writeCanonicalSpec(specWriter{h: h}, spec)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalSpecBytes returns the exact byte stream SpecDigest hashes:
+// the canonical, self-delimiting encoding of everything the pipeline can
+// observe about a spec. The disk cache tier persists these bytes as the
+// Prepared entry's payload — sha256(CanonicalSpecBytes(spec)) is
+// SpecDigest(spec) by construction, so a persisted entry verifies
+// against its own file name with no second bookkeeping channel.
+func CanonicalSpecBytes(spec *apps.Spec) []byte {
+	var buf bytes.Buffer
+	writeCanonicalSpec(specWriter{h: &buf}, spec)
+	return buf.Bytes()
+}
+
+// writeCanonicalSpec streams the one canonical encoding both SpecDigest
+// and CanonicalSpecBytes are defined over.
+func writeCanonicalSpec(w specWriter, spec *apps.Spec) {
+	w.str(DigestVersion)
 	w.str(spec.Name)
 	w.strs("params", spec.Params)
 	w.strs("mpi", spec.MPIUsed)
@@ -49,13 +70,12 @@ func SpecDigest(spec *apps.Spec) string {
 		w.bool(f.InlineEstimate)
 		w.body(f.Body)
 	}
-	return hex.EncodeToString(h.Sum(nil))
 }
 
 // specWriter streams a canonical, self-delimiting encoding of a spec into
-// a hash. Every field is length- or tag-prefixed so distinct structures
-// can never serialize to the same byte stream.
-type specWriter struct{ h hash.Hash }
+// a hash (or any writer). Every field is length- or tag-prefixed so
+// distinct structures can never serialize to the same byte stream.
+type specWriter struct{ h io.Writer }
 
 func (w specWriter) str(s string) {
 	fmt.Fprintf(w.h, "s%d:%s;", len(s), s)

@@ -1,0 +1,72 @@
+package diskcache
+
+// Codec translates one cache's values to and from durable bytes. Encode
+// produces the payload persisted for a value; Decode reverses it, and —
+// because the payload's integrity checksum cannot prove the payload
+// belongs to the *name* it was read under — receives the digest the
+// caller asked for so it can verify content-address agreement (a file
+// renamed onto the wrong digest must decode to an error, never to a
+// wrong answer served under the right key).
+type Codec interface {
+	// Encode serializes a cache value into its durable payload.
+	Encode(v any) ([]byte, error)
+	// Decode reconstructs a value from the payload stored under digest,
+	// failing if the payload does not actually denote digest.
+	Decode(digest string, data []byte) (any, error)
+}
+
+// Layer couples a Store with a Codec into the typed disk tier an
+// in-memory cache layers itself over. A nil *Layer is a valid,
+// always-missing tier, so caches need no "is persistence on?" branches.
+type Layer struct {
+	store *Store
+	codec Codec
+}
+
+// NewLayer wraps store with codec.
+func NewLayer(store *Store, codec Codec) *Layer {
+	return &Layer{store: store, codec: codec}
+}
+
+// Get loads and decodes the value stored under digest. A payload that
+// reads back but fails to decode (schema drift the version stamp missed,
+// digest disagreement) is deleted like any other corrupt entry.
+func (l *Layer) Get(digest string) (any, bool) {
+	if l == nil {
+		return nil, false
+	}
+	data, ok := l.store.Get(digest)
+	if !ok {
+		return nil, false
+	}
+	v, err := l.codec.Decode(digest, data)
+	if err != nil {
+		l.store.Delete(digest)
+		l.store.count(func() { l.store.dropped++; l.store.hits--; l.store.misses++ })
+		return nil, false
+	}
+	return v, true
+}
+
+// Put encodes and persists v under digest; failures are deliberately
+// swallowed after accounting — persistence is an accelerator, never a
+// correctness dependency, and a full or read-only disk must not fail
+// the request that tried to warm it.
+func (l *Layer) Put(digest string, v any) {
+	if l == nil {
+		return
+	}
+	data, err := l.codec.Encode(v)
+	if err != nil {
+		return
+	}
+	_ = l.store.Put(digest, data)
+}
+
+// Stats exposes the underlying store counters.
+func (l *Layer) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return l.store.Stats()
+}

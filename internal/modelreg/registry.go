@@ -3,6 +3,8 @@ package modelreg
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/diskcache"
 )
 
 // Registry is the content-addressed model store: finished ModelSets
@@ -24,8 +26,14 @@ type Registry struct {
 	// the build instead of duplicating a full sweep.
 	inflight map[string]*regFlight
 
+	// disk is the optional persistent tier: finished sets are written
+	// through on build, and a restarted process answers from disk without
+	// re-running the sweep or the fitter at all. Nil disables it.
+	disk *diskcache.Layer
+
 	hits      uint64
 	misses    uint64
+	diskHits  uint64
 	evictions uint64
 }
 
@@ -42,8 +50,12 @@ type regFlight struct {
 
 // RegistryStats is a point-in-time snapshot of the registry counters.
 type RegistryStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// DiskHits counts sets served from the persistent tier with no
+	// rebuild: the whole sweep-and-fit was skipped. Not counted as
+	// misses.
+	DiskHits  uint64 `json:"disk_hits"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
@@ -82,19 +94,54 @@ func (r *Registry) Get(key string, build func() (*ModelSet, error)) (*ModelSet, 
 	}
 	fl := &regFlight{done: make(chan struct{})}
 	r.inflight[key] = fl
-	r.misses++
+	disk := r.disk
 	r.mu.Unlock()
 
-	fl.ms, fl.err = build()
+	// The persistent tier holds the finished artifact itself, so a warm
+	// entry is served with zero rebuilds — no sweep, no fit. Joiners of
+	// this flight share the disk read like they would share a build.
+	fromDisk := false
+	if v, ok := disk.Get(key); ok {
+		fl.ms = v.(*ModelSet)
+		fromDisk = true
+	} else {
+		fl.ms, fl.err = build()
+	}
 
 	r.mu.Lock()
 	delete(r.inflight, key)
 	if fl.err == nil {
 		r.insertLocked(key, fl.ms)
+		if fromDisk {
+			r.diskHits++
+		} else {
+			r.misses++
+		}
+	} else {
+		r.misses++
 	}
 	r.mu.Unlock()
+	if fl.err == nil && !fromDisk {
+		disk.Put(key, fl.ms)
+	}
 	close(fl.done)
-	return fl.ms, false, fl.err
+	return fl.ms, fromDisk, fl.err
+}
+
+// SetDisk attaches the persistent tier; call before serving traffic.
+func (r *Registry) SetDisk(disk *diskcache.Layer) {
+	r.mu.Lock()
+	r.disk = disk
+	r.mu.Unlock()
+}
+
+// DiskStats snapshots the persistent tier's store counters (zero when
+// persistence is disabled).
+func (r *Registry) DiskStats() diskcache.Stats {
+	r.mu.Lock()
+	disk := r.disk
+	r.mu.Unlock()
+	return disk.Stats()
 }
 
 // insertLocked files a completed build at the front of the recency list
@@ -149,6 +196,7 @@ func (r *Registry) Stats() RegistryStats {
 	return RegistryStats{
 		Hits:      r.hits,
 		Misses:    r.misses,
+		DiskHits:  r.diskHits,
 		Evictions: r.evictions,
 		Entries:   r.order.Len(),
 		Capacity:  r.capacity,

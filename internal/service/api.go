@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/modelreg"
 )
 
@@ -166,6 +167,12 @@ type StatsResponse struct {
 	Cache    CacheStats             `json:"cache"`
 	Models   modelreg.RegistryStats `json:"models"`
 	Jobs     JobStats               `json:"jobs"`
+	// CacheDisk and ModelsDisk report the persistent tiers' store
+	// counters; all-zero when the daemon runs without a cache dir.
+	CacheDisk  diskcache.Stats `json:"cache_disk"`
+	ModelsDisk diskcache.Stats `json:"models_disk"`
+	// RateLimited counts requests rejected with 429 by admission control.
+	RateLimited uint64 `json:"rate_limited"`
 }
 
 // DefaultCensusParams is the census column used when a request does not

@@ -3,9 +3,11 @@ package service
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/diskcache"
 )
 
 // PreparedCache is the daemon's content-addressed store of core.Prepared
@@ -35,11 +37,28 @@ type PreparedCache struct {
 
 	hits      uint64
 	misses    uint64
+	diskHits  uint64
 	evictions uint64
 
 	// prepare builds the artifact on a miss; tests substitute it to count
 	// and delay builds. Defaults to core.Prepare.
 	prepare func(*apps.Spec) (*core.Prepared, error)
+
+	// disk is the optional persistent tier beneath the LRU. A Prepared
+	// value itself is not serializable (it holds the built module and the
+	// predecoded program), so the disk entry is the canonical spec bytes
+	// under the spec digest: its presence proves this digest was prepared
+	// by an earlier process, and the artifact is rebuilt lazily through
+	// the same singleflight that guards cold misses — a warm disk after a
+	// restart therefore pays at most one build per digest, never a
+	// stampede, and the rebuild is classified as a disk hit rather than a
+	// miss. Nil disables persistence.
+	disk *diskcache.Layer
+
+	// onBuild, when set, observes the latency of every actual prepare
+	// (cold miss or disk-hit rebuild); the server points it at the
+	// "prepare" stage histogram.
+	onBuild func(time.Duration)
 }
 
 type cacheEntry struct {
@@ -55,8 +74,13 @@ type inflightCall struct {
 
 // CacheStats is a point-in-time snapshot of the cache counters.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// DiskHits counts builds that were warm on the persistent tier: the
+	// digest was prepared by an earlier process and only rebuilt (once,
+	// under the singleflight) because the artifact itself cannot be
+	// serialized. Disk hits are not counted as misses.
+	DiskHits  uint64 `json:"disk_hits"`
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
@@ -100,10 +124,28 @@ func (c *PreparedCache) Get(spec *apps.Spec) (*core.Prepared, string, error) {
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	c.inflight[digest] = call
-	c.misses++
+	disk := c.disk
 	c.mu.Unlock()
 
+	// Classify the build before running it: a digest resident on the
+	// persistent tier is a disk hit (warm restart, lazy rebuild), an
+	// absent one a genuine miss. Concurrent requesters are already
+	// parked on the flight, so the disk probe runs at most once per
+	// in-memory miss.
+	_, fromDisk := disk.Get(digest)
+	c.mu.Lock()
+	if fromDisk {
+		c.diskHits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	start := time.Now()
 	call.p, call.err = c.prepare(spec)
+	if c.onBuild != nil {
+		c.onBuild(time.Since(start))
+	}
 
 	c.mu.Lock()
 	delete(c.inflight, digest)
@@ -111,8 +153,27 @@ func (c *PreparedCache) Get(spec *apps.Spec) (*core.Prepared, string, error) {
 		c.insertLocked(digest, call.p)
 	}
 	c.mu.Unlock()
+	if call.err == nil && !fromDisk {
+		disk.Put(digest, call.p)
+	}
 	close(call.done)
 	return call.p, digest, call.err
+}
+
+// SetDisk attaches the persistent tier; call before serving traffic.
+func (c *PreparedCache) SetDisk(disk *diskcache.Layer) {
+	c.mu.Lock()
+	c.disk = disk
+	c.mu.Unlock()
+}
+
+// DiskStats snapshots the persistent tier's store counters (zero when
+// persistence is disabled).
+func (c *PreparedCache) DiskStats() diskcache.Stats {
+	c.mu.Lock()
+	disk := c.disk
+	c.mu.Unlock()
+	return disk.Stats()
 }
 
 // insertLocked files a completed build at the front of the recency list
@@ -164,6 +225,7 @@ func (c *PreparedCache) Stats() CacheStats {
 	return CacheStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
+		DiskHits:  c.diskHits,
 		Evictions: c.evictions,
 		Entries:   c.order.Len(),
 		Capacity:  c.capacity,

@@ -34,16 +34,39 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes the server's {"error": ...} envelope.
+// APIError is a decoded error response from the daemon. Callers that
+// need to react to specific statuses (429 backoff, 413 body splitting)
+// can errors.As for it instead of parsing message strings.
+type APIError struct {
+	// StatusCode is the HTTP status the daemon answered with.
+	StatusCode int
+	// Message is the daemon's error text.
+	Message string
+	// RetryAfterMS, on 429 responses, is how long the daemon suggests
+	// waiting before retrying (0 when the server sent no hint).
+	RetryAfterMS int64
+}
+
+// Error renders the status and the daemon's message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %d: %s", e.StatusCode, e.Message)
+}
+
+// apiError decodes the server's {"error": ...} envelope into an APIError.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	out := &APIError{StatusCode: resp.StatusCode}
 	var env struct {
-		Error string `json:"error"`
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
 	}
 	if json.Unmarshal(body, &env) == nil && env.Error != "" {
-		return fmt.Errorf("service: %s: %s", resp.Status, env.Error)
+		out.Message = env.Error
+		out.RetryAfterMS = env.RetryAfterMS
+	} else {
+		out.Message = string(bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("service: %s: %s", resp.Status, bytes.TrimSpace(body))
+	return out
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -182,7 +205,11 @@ func scanNDJSON(r io.Reader, emit func(line []byte) error) error {
 
 // Sweep submits a full-factorial design and invokes emit for every
 // NDJSON result line in design order as the server streams them. A
-// non-nil error from emit aborts the stream and is returned.
+// non-nil error from emit aborts the stream and is returned. A
+// server-side drain line (the daemon shutting down mid-sweep announces
+// itself with a final jobless error record) is surfaced as an error
+// rather than passed to emit, so callers can tell "server stopped" from
+// "stream truncated" and from an ordinary per-config failure.
 func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLine) error) error {
 	resp, err := c.stream(ctx, "/v1/sweep", &req)
 	if err != nil {
@@ -193,6 +220,9 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLin
 		var rec SweepLine
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return fmt.Errorf("service: decode sweep line: %w", err)
+		}
+		if rec.JobID == "" && rec.Error != "" {
+			return fmt.Errorf("service: sweep aborted by server: %s", rec.Error)
 		}
 		return emit(rec)
 	})

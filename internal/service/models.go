@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/modelreg"
 	"repro/internal/runner"
@@ -98,9 +99,11 @@ func (s *Server) modelConfig(req ModelRequest, app App) modelreg.Config {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 1) {
+		return
+	}
 	var req ModelRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	app, spec, prepared, digest, err := s.resolve(req.App)
@@ -129,8 +132,13 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	// fuel-bounded and capped by MaxSweepConfigs) and warms the registry
 	// even if every requester has gone away. Daemon shutdown cancels it.
 	build := func(onEvent func(modelreg.Event)) (*modelreg.ModelSet, error) {
-		return modelreg.Extract(s.baseCtx, &runner.Runner{Workers: s.opts.Workers},
+		start := time.Now()
+		ms, err := modelreg.Extract(s.baseCtx, &runner.Runner{Workers: s.opts.Workers},
 			prepared, cfg, onEvent)
+		// The fit histogram observes real extractions only: cache and disk
+		// hits never reach this closure.
+		s.metrics.ObserveStage(StageFit, time.Since(start))
+		return ms, err
 	}
 
 	if !req.Stream {

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/diskcache"
+	"repro/internal/modelreg"
+)
+
+// preparedCodec is the Prepared cache's disk wire form. A core.Prepared
+// cannot be serialized (it holds the built module, the static pass, and
+// the predecoded program), so the durable payload is the canonical spec
+// byte stream the digest is defined over: sha256(payload) == digest, so
+// an entry proves its own identity against its file name. The presence
+// of a verified entry is the signal — "this digest was prepared before" —
+// and the artifact is rebuilt lazily through the cache's singleflight.
+type preparedCodec struct{}
+
+// Encode persists the canonical spec bytes of the Prepared's spec.
+func (preparedCodec) Encode(v any) ([]byte, error) {
+	p, ok := v.(*core.Prepared)
+	if !ok {
+		return nil, fmt.Errorf("service: prepared codec got %T", v)
+	}
+	return core.CanonicalSpecBytes(p.Spec), nil
+}
+
+// Decode verifies that the payload actually hashes to the digest it was
+// stored under; a file renamed onto the wrong digest is a decode error
+// (and so a cleaned-up miss), never a false warm entry.
+func (preparedCodec) Decode(digest string, data []byte) (any, error) {
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, fmt.Errorf("service: prepared entry does not denote digest %s", digest)
+	}
+	return data, nil
+}
+
+// openDiskTiers opens the two persistent cache tiers under dir:
+// dir/prepared/<spec digest version>/ for the PreparedCache and
+// dir/models/<design digest version>/ for the model registry. Each tier
+// is version-stamped independently, so bumping one pipeline's semantics
+// invalidates exactly that tier.
+func openDiskTiers(dir string) (prepared, models *diskcache.Layer, err error) {
+	ps, err := diskcache.Open(filepath.Join(dir, "prepared"), core.DigestVersion)
+	if err != nil {
+		return nil, nil, err
+	}
+	ml, err := modelreg.OpenDiskLayer(filepath.Join(dir, "models"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return diskcache.NewLayer(ps, preparedCodec{}), ml, nil
+}

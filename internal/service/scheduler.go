@@ -136,6 +136,10 @@ type scheduler struct {
 	// the channel, so a send can never race a close.
 	sendMu sync.RWMutex
 
+	// onRun, when set, observes every claimed job's run latency (set once
+	// before traffic, during server assembly).
+	onRun func(time.Duration)
+
 	mu        sync.Mutex
 	closed    bool
 	nextID    uint64
@@ -266,7 +270,11 @@ func (s *scheduler) runJob(j *job) {
 		return
 	}
 	s.account(func(st *JobStats) { st.Running++ })
+	runStart := time.Now()
 	res := s.exec.AnalyzeBatchPreparedCtx(j.ctx, j.prepared, []apps.Config{j.cfg})[0]
+	if s.onRun != nil {
+		s.onRun(time.Since(runStart))
+	}
 	s.account(func(st *JobStats) { st.Running-- })
 	switch {
 	// Only errors that ARE the context's (cancellation surfaced from

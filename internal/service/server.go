@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/apps"
@@ -58,6 +59,21 @@ type Options struct {
 	// ModelEntries bounds the content-addressed model registry behind
 	// POST /v1/models; <= 0 means 16.
 	ModelEntries int
+	// CacheDir, when non-empty, roots the persistent cache tiers
+	// (prepared specs and finished model sets) so a restarted daemon
+	// starts warm instead of re-paying every Prepare and every
+	// sweep-and-fit. Empty keeps both caches memory-only.
+	CacheDir string
+	// MaxBodyBytes caps every JSON request body; oversized bodies are
+	// rejected with 413. <= 0 means 4 MiB.
+	MaxBodyBytes int64
+	// Rate enables per-client token-bucket admission control: each
+	// client (X-Client-ID header, else remote host) accrues Rate tokens
+	// per second, one analysis costs one token, a sweep one per design
+	// point. Exhausted clients get 429 + Retry-After. <= 0 disables it.
+	Rate float64
+	// Burst is the per-client bucket capacity; <= 0 means max(1, 2*Rate).
+	Burst float64
 	// Apps extends or overrides the bundled application registry.
 	Apps map[string]App
 }
@@ -81,19 +97,24 @@ func (o Options) withDefaults() Options {
 	if o.ModelEntries <= 0 {
 		o.ModelEntries = 16
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
 	return o
 }
 
 // Server is the analysis daemon: an http.Handler plus the shared cache
 // and scheduler behind it.
 type Server struct {
-	opts   Options
-	cache  *PreparedCache
-	sched  *scheduler
-	models *modelreg.Registry
-	apps   map[string]App
-	mux    *http.ServeMux
-	start  time.Time
+	opts    Options
+	cache   *PreparedCache
+	sched   *scheduler
+	models  *modelreg.Registry
+	metrics *Metrics
+	limiter *rateLimiter
+	apps    map[string]App
+	mux     *http.ServeMux
+	start   time.Time
 	// baseCtx scopes work that must outlive any single request (model
 	// registry builds shared by many requesters); stop cancels it on
 	// Close.
@@ -101,22 +122,35 @@ type Server struct {
 	stop    context.CancelFunc
 }
 
-// NewServer assembles a daemon from opts. Call Close to drain it.
-func NewServer(opts Options) *Server {
+// NewServer assembles a daemon from opts; the only failure mode is an
+// unusable Options.CacheDir. Call Close to drain it.
+func NewServer(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	reg := BundledApps()
 	for name, app := range opts.Apps {
 		reg[name] = app
 	}
 	s := &Server{
-		opts:   opts,
-		cache:  NewPreparedCache(opts.CacheEntries),
-		sched:  newScheduler(opts.Workers, opts.QueueDepth),
-		models: modelreg.NewRegistry(opts.ModelEntries),
-		apps:   reg,
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
+		opts:    opts,
+		cache:   NewPreparedCache(opts.CacheEntries),
+		sched:   newScheduler(opts.Workers, opts.QueueDepth),
+		models:  modelreg.NewRegistry(opts.ModelEntries),
+		metrics: newMetrics(),
+		limiter: newRateLimiter(opts.Rate, opts.Burst),
+		apps:    reg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
 	}
+	if opts.CacheDir != "" {
+		prepared, models, err := openDiskTiers(opts.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: open cache dir: %w", err)
+		}
+		s.cache.SetDisk(prepared)
+		s.models.SetDisk(models)
+	}
+	s.cache.onBuild = func(d time.Duration) { s.metrics.ObserveStage(StagePrepare, d) }
+	s.sched.onRun = func(d time.Duration) { s.metrics.ObserveStage(StageRun, d) }
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -125,7 +159,8 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/models/{key}", s.handleModelGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return s
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
 }
 
 // Handler exposes the daemon's HTTP surface.
@@ -157,7 +192,19 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- s
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	hs := &http.Server{Handler: s.mux}
+	// Slow-client hardening. ReadHeaderTimeout kills slowloris openers
+	// that trickle header bytes forever; ReadTimeout bounds the whole
+	// request read (bodies are small — MaxBodyBytes — so a minute is
+	// generous); IdleTimeout reaps parked keep-alive connections. There
+	// is deliberately NO WriteTimeout: sweep and model responses are
+	// long-lived NDJSON streams whose legitimate lifetime is the design
+	// size, and a write deadline would cut them mid-line.
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -194,12 +241,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	sort.Strings(names)
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		UptimeMS: time.Since(s.start).Milliseconds(),
-		Workers:  s.opts.Workers,
-		Apps:     names,
-		Cache:    s.cache.Stats(),
-		Models:   s.models.Stats(),
-		Jobs:     s.sched.jobStats(),
+		UptimeMS:    time.Since(s.start).Milliseconds(),
+		Workers:     s.opts.Workers,
+		Apps:        names,
+		Cache:       s.cache.Stats(),
+		Models:      s.models.Stats(),
+		Jobs:        s.sched.jobStats(),
+		CacheDisk:   s.cache.DiskStats(),
+		ModelsDisk:  s.models.DiskStats(),
+		RateLimited: s.metrics.RateLimited(),
 	})
 }
 
@@ -212,10 +262,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Info())
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, 1) {
+		return
+	}
 	var req AnalyzeRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	app, spec, prepared, digest, err := s.resolve(req.App)
@@ -262,8 +319,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	if err := decodeBody(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	app, spec, prepared, digest, err := s.resolve(req.App)
@@ -318,6 +374,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Admission control charges a sweep by what it costs: one token per
+	// job the design puts on the queue (clamped to the bucket capacity
+	// inside the limiter so a legal design is throttled, not starved).
+	if !s.admit(w, r, float64(len(cfgs))) {
+		return
+	}
 
 	// Submit every configuration as its own job (request-scoped: a client
 	// disconnect cancels everything still queued), then stream results in
@@ -347,6 +409,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, j := range jobs {
 		select {
 		case <-j.done:
+		case <-s.baseCtx.Done():
+			// Graceful shutdown: the scheduler is draining, so jobs not yet
+			// finished will never complete. Tell the client in-band — a
+			// final well-formed error line lets it distinguish "server
+			// stopped" from a truncated stream — then flush and stop.
+			drain := SweepLine{Index: i, Error: "server draining: sweep stopped before completion"}
+			_ = enc.Encode(&drain)
+			_ = rc.Flush()
+			return
 		case <-r.Context().Done():
 			return
 		}
@@ -401,13 +472,55 @@ func censusParams(req []string) []string {
 
 // --- helpers ---
 
-func decodeBody(r *http.Request, dst any) error {
-	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+// decodeBody reads exactly one JSON value from the request into dst,
+// writing the error response itself and returning false on failure. The
+// body is capped at Options.MaxBodyBytes (oversized requests answer 413
+// with a typed error body instead of being silently truncated into a
+// confusing parse error), unknown fields are rejected, and so is any
+// trailing garbage after the JSON value — "two documents glued
+// together" is a client bug worth failing loudly.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("invalid request body: %w", err)
+	err := dec.Decode(dst)
+	if err == nil {
+		// Exactly one value: a second decode must hit EOF.
+		var extra json.RawMessage
+		if trailErr := dec.Decode(&extra); trailErr != io.EOF {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("invalid request body: trailing data after the JSON value"))
+			return false
+		}
+		return true
 	}
-	return nil
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds the %d-byte limit", tooBig.Limit))
+		return false
+	}
+	httpError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+	return false
+}
+
+// admit charges n tokens against the requesting client's admission
+// bucket, answering 429 with a Retry-After header (and counting the
+// rejection) when the bucket cannot cover it. Always true when rate
+// limiting is disabled.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, n float64) bool {
+	ok, retry := s.limiter.allowN(clientKey(r), n)
+	if ok {
+		return true
+	}
+	s.metrics.rateLimitedInc()
+	secs := int(retry/time.Second) + 1
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":          fmt.Sprintf("rate limit exceeded for this client; retry in %ds", secs),
+		"retry_after_ms": retry.Milliseconds(),
+	})
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -15,7 +15,10 @@ import (
 
 func testServer(t *testing.T, opts Options) (*Server, *Client) {
 	t.Helper()
-	srv := NewServer(opts)
+	srv, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()
@@ -267,7 +270,10 @@ func TestServeSweepCapsDesignSize(t *testing.T) {
 }
 
 func TestServeClampsJobTimeout(t *testing.T) {
-	srv := NewServer(Options{Workers: 1, JobTimeout: 5 * time.Second})
+	srv, err := NewServer(Options{Workers: 1, JobTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Close()
 	if d := srv.timeout(0); d != 5*time.Second {
 		t.Errorf("default timeout = %v, want 5s", d)

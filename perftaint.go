@@ -121,13 +121,18 @@ func AnalyzeBatch(spec *Spec, cfgs []Config) ([]BatchResult, error) {
 func Sweep(d Design) ([]BatchResult, error) { return runner.New().Sweep(d) }
 
 // NewServer assembles an analysis daemon; serve it with ListenAndServe
-// or mount Handler() into an existing HTTP server.
-func NewServer(opts ServerOptions) *Server { return service.NewServer(opts) }
+// or mount Handler() into an existing HTTP server. The only failure
+// mode is an unusable ServerOptions.CacheDir.
+func NewServer(opts ServerOptions) (*Server, error) { return service.NewServer(opts) }
 
 // Serve runs an analysis daemon on addr until ctx is done, then drains
 // it. It is the programmatic equivalent of `perftaintd -addr addr`.
 func Serve(ctx context.Context, addr string, opts ServerOptions) error {
-	return service.NewServer(opts).ListenAndServe(ctx, addr, nil)
+	srv, err := service.NewServer(opts)
+	if err != nil {
+		return err
+	}
+	return srv.ListenAndServe(ctx, addr, nil)
 }
 
 // NewClient returns a client for the daemon at base, e.g.
