@@ -1,0 +1,287 @@
+// Command clustersmoke is the CI end-to-end check for distributed sweep
+// execution: it boots a real coordinator daemon plus two worker daemons,
+// runs the LULESH model extraction through the coordinator, SIGKILLs one
+// worker as soon as the first design point streams back, and gates on
+// the surviving cluster producing the exact same model-set registry key
+// (and byte-identical model set) as an in-process single-node
+// extraction. It also asserts that shards were actually dispatched to
+// workers — a cluster that quietly fell back to local execution would
+// pass the identity check while proving nothing — and scrapes the
+// coordinator's final /metrics into a file for the CI artifact upload.
+//
+//	go build -o bin/perftaintd ./cmd/perftaintd
+//	go run ./cmd/clustersmoke -daemon bin/perftaintd -metrics-out cluster_metrics.txt
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modelreg"
+	"repro/internal/runner"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clustersmoke: ")
+	daemon := flag.String("daemon", "", "path to the perftaintd binary (required)")
+	metricsOut := flag.String("metrics-out", "", "write the coordinator's final /metrics scrape to this file")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall smoke deadline")
+	flag.Parse()
+	if *daemon == "" {
+		log.Fatal("clustersmoke requires -daemon PATH (a perftaintd binary)")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := run(ctx, *daemon, *metricsOut); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("clustersmoke: OK — distributed extraction matched the single-node golden through a mid-sweep worker kill")
+}
+
+// smokeConfig is the modeling design under test: the quickstart LULESH
+// design (16 points), big enough to shard across two workers and to
+// still be in flight when the kill lands.
+func smokeConfig() modelreg.Config {
+	return modelreg.Config{
+		App:      "lulesh",
+		Params:   []string{"p", "size"},
+		Defaults: map[string]float64{"regions": 4, "balance": 2, "cost": 1, "iters": 2},
+		Axes: []modelreg.Axis{
+			{Param: "p", Values: []float64{2, 4, 8, 16}},
+			{Param: "size", Values: []float64{4, 5, 6, 7}},
+		},
+		Reps:     3,
+		Seed:     7,
+		RelNoise: 0.02,
+		Batch:    5,
+	}
+}
+
+func run(ctx context.Context, daemon, metricsOut string) error {
+	// The golden: the same extraction, single-node and in-process. Its
+	// registry key is content-addressed over spec + design, so the
+	// cluster reproducing the key AND the model set proves the sharded
+	// sweep fed the fitter the exact same measurements in the exact
+	// same order.
+	app := service.BundledApps()["lulesh"]
+	cfg := service.ResolveModelDefaults(app, smokeConfig())
+	spec := app.New()
+	prep, err := core.Prepare(spec)
+	if err != nil {
+		return fmt.Errorf("prepare golden spec: %w", err)
+	}
+	wantKey := modelreg.Key(core.SpecDigest(spec), cfg)
+	log.Printf("computing single-node golden (key %s)", wantKey)
+	goldenMS, err := modelreg.Extract(ctx, runner.New(), prep, cfg, nil)
+	if err != nil {
+		return fmt.Errorf("single-node golden extraction: %w", err)
+	}
+	goldenJSON, err := json.Marshal(goldenMS)
+	if err != nil {
+		return err
+	}
+
+	coord, err := startDaemon(ctx, daemon, "-coordinator")
+	if err != nil {
+		return fmt.Errorf("start coordinator: %w", err)
+	}
+	defer coord.stop()
+	var workers [2]*proc
+	for i := range workers {
+		w, err := startDaemon(ctx, daemon, "-worker", "-join", coord.base)
+		if err != nil {
+			return fmt.Errorf("start worker %d: %w", i, err)
+		}
+		defer w.stop()
+		workers[i] = w
+	}
+
+	client := service.NewClient(coord.base)
+	if err := waitLiveWorkers(ctx, client, len(workers)); err != nil {
+		return err
+	}
+	log.Printf("cluster up: coordinator %s, %d live workers", coord.base, len(workers))
+
+	// Stream the extraction through the coordinator and SIGKILL one
+	// worker the moment the first design point lands — from then on the
+	// cluster must finish on the survivor (plus coordinator retries)
+	// without perturbing a single byte of the artifact.
+	var killOnce sync.Once
+	req := modelRequest(smokeConfig())
+	resp, err := client.ModelsStream(ctx, req, func(ev modelreg.Event) {
+		if ev.Type == "point" {
+			killOnce.Do(func() {
+				log.Printf("first design point streamed (%d/%d) — SIGKILLing worker %s", ev.Points, ev.Total, workers[0].base)
+				_ = workers[0].cmd.Process.Kill()
+			})
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("distributed extraction: %w", err)
+	}
+
+	if resp.Key != wantKey {
+		return fmt.Errorf("registry key diverged: cluster produced %s, single-node golden is %s", resp.Key, wantKey)
+	}
+	clusterJSON, err := json.Marshal(resp.ModelSet)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(clusterJSON, goldenJSON) {
+		return fmt.Errorf("model set diverged from the single-node golden despite equal keys (%d vs %d bytes)",
+			len(clusterJSON), len(goldenJSON))
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if st.Cluster == nil || st.Cluster.Role != "coordinator" {
+		return fmt.Errorf("coordinator /v1/stats has no coordinator cluster block: %+v", st.Cluster)
+	}
+	if st.Cluster.ShardsDispatched == 0 {
+		return fmt.Errorf("no shards were dispatched to workers — the sweep ran locally, proving nothing")
+	}
+	log.Printf("cluster stats: %d shards dispatched, %d local, %d retries, %d heartbeat misses",
+		st.Cluster.ShardsDispatched, st.Cluster.ShardsLocal, st.Cluster.ShardRetries, st.Cluster.HeartbeatMisses)
+
+	if metricsOut != "" {
+		if err := scrapeMetrics(ctx, coord.base, metricsOut); err != nil {
+			return err
+		}
+		log.Printf("wrote coordinator /metrics scrape to %s", metricsOut)
+	}
+	return nil
+}
+
+// modelRequest is the wire form of the smoke design.
+func modelRequest(cfg modelreg.Config) service.ModelRequest {
+	req := service.ModelRequest{
+		App:      cfg.App,
+		Params:   cfg.Params,
+		Defaults: cfg.Defaults,
+		Reps:     cfg.Reps,
+		Seed:     cfg.Seed,
+		RelNoise: cfg.RelNoise,
+		Batch:    cfg.Batch,
+		Metrics:  cfg.Metrics,
+	}
+	for _, ax := range cfg.Axes {
+		req.Axes = append(req.Axes, service.SweepAxis{Param: ax.Param, Values: ax.Values})
+	}
+	return req
+}
+
+// proc is one launched daemon: its base URL and the handle to stop it.
+type proc struct {
+	base string
+	cmd  *exec.Cmd
+}
+
+func (p *proc) stop() {
+	_ = p.cmd.Process.Signal(os.Interrupt)
+	_ = p.cmd.Wait()
+}
+
+// startDaemon launches the perftaintd binary on an OS-assigned port with
+// the given extra arguments and returns once it announces its address.
+// Binding ":0" and reading the announcement avoids port races on busy
+// CI runners (the same discipline as cmd/servicesmoke).
+func startDaemon(ctx context.Context, path string, extra ...string) (*proc, error) {
+	cmd := exec.CommandContext(ctx, path, append([]string{"-addr", "127.0.0.1:0"}, extra...)...)
+	cmd.Stdout = os.Stderr
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start daemon %s: %w", path, err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		re := regexp.MustCompile(`listening on (\S+)`)
+		sc := bufio.NewScanner(stderr)
+		announced := false
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, line)
+			if !announced {
+				if m := re.FindStringSubmatch(line); m != nil {
+					announced = true
+					addrc <- m[1]
+				}
+			}
+		}
+		close(addrc)
+	}()
+	stop := func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		_ = cmd.Wait()
+	}
+	select {
+	case addr, ok := <-addrc:
+		if !ok {
+			stop()
+			return nil, fmt.Errorf("daemon exited before announcing its address")
+		}
+		return &proc{base: "http://" + addr, cmd: cmd}, nil
+	case <-ctx.Done():
+		stop()
+		return nil, fmt.Errorf("daemon never announced its address: %w", ctx.Err())
+	}
+}
+
+// waitLiveWorkers polls the coordinator's stats until n workers are live.
+func waitLiveWorkers(ctx context.Context, client *service.Client, n int) error {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		st, err := client.Stats(ctx)
+		if err == nil && st.Cluster != nil && st.Cluster.LiveWorkers >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster never reached %d live workers: %w", n, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// scrapeMetrics fetches the coordinator's Prometheus exposition and
+// writes it to path for the CI artifact upload.
+func scrapeMetrics(ctx context.Context, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape /metrics: HTTP %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

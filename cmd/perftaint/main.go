@@ -2,16 +2,22 @@
 // application and emits a JSON report: per-function parameter dependencies,
 // symbolic volumes, the pruning census, and the instrumentation filter.
 //
-// Besides the local single-process mode (the default), it fronts the
-// analysis daemon:
+// The analyze subcommand is the front door: without -addr it runs the
+// pipeline in-process, with -addr it submits to a daemon — same report
+// either way. Every subcommand that talks to a daemon takes the same
+// -addr flag and accepts a base URL or a bare host:port.
 //
-//	perftaint -app lulesh                          # local analysis
+//	perftaint analyze -app lulesh                  # local analysis
+//	perftaint analyze -addr host:7070 -app lulesh -config p=16
 //	perftaint serve -addr :7070                    # run the daemon in-process
-//	perftaint submit -addr http://host:7070 -app lulesh -config p=16
+//	perftaint submit -addr host:7070 -app lulesh -config p=16
 //	perftaint submit -addr ... -app lulesh -sweep 'p=2,4,8;size=4,5'
 //	perftaint submit -addr ... -app milc -async    # prints a queued job
 //	perftaint job -addr ... -id job-1 -wait        # poll it to completion
-//	perftaint stats -addr http://host:7070
+//	perftaint stats -addr host:7070
+//
+// (Bare flags with no subcommand — the original CLI shape — still run a
+// local analysis, but print a deprecation note; use analyze.)
 //
 // The model subcommand runs the end-to-end sweep→fit pipeline (locally
 // or against a daemon) and emits the model set as JSON; report renders
@@ -50,6 +56,7 @@ import (
 
 	"repro/internal/appgen"
 	"repro/internal/apps"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
@@ -69,6 +76,9 @@ func main() {
 	log.SetPrefix("perftaint: ")
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
+		case "analyze":
+			runAnalyze(os.Args[2:])
+			return
 		case "serve":
 			runServe(os.Args[2:])
 			return
@@ -94,37 +104,86 @@ func main() {
 			// Anything that isn't a flag is a mistyped subcommand; falling
 			// through to a multi-second local analysis would bury the typo.
 			if !strings.HasPrefix(os.Args[1], "-") {
-				log.Fatalf("unknown subcommand %q (want serve, submit, job, model, report, corpus, or stats; "+
-					"flags alone run a local analysis)", os.Args[1])
+				log.Fatalf("unknown subcommand %q (want analyze, serve, submit, job, model, report, corpus, or stats)",
+					os.Args[1])
 			}
 		}
 	}
 	runLocal(os.Args[1:])
 }
 
-// runLocal is the original single-process mode.
+// runLocal is the original flags-only CLI shape, kept as a deprecated
+// alias so existing scripts don't break. It is the same analysis as
+// `perftaint analyze` without -addr; only the note on stderr differs.
 func runLocal(args []string) {
 	fs := flag.NewFlagSet("perftaint", flag.ExitOnError)
 	app := fs.String("app", "lulesh", "application to analyze: lulesh or milc")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile (after the analysis) to this file")
 	fs.Parse(args)
+	log.Print("note: bare `perftaint -app ...` is deprecated; use `perftaint analyze` (same flags, plus -config and -addr)")
+	analyzeLocal(*app, nil, *cpuProfile, *memProfile)
+}
 
-	var spec *apps.Spec
-	var cfg apps.Config
-	switch *app {
-	case "lulesh":
-		spec, cfg = apps.LULESH(), apps.LULESHTaintConfig()
-	case "milc":
-		spec, cfg = apps.MILC(), apps.MILCTaintConfig()
-	default:
-		log.Fatalf("unknown app %q (want lulesh or milc)", *app)
+// runAnalyze runs one analysis: in-process when -addr is empty, against
+// a daemon otherwise. The local and remote paths share the daemon's
+// config overlay and wire projection, so the JSON report is the same
+// shape (the local run additionally dumps the tainted selections, which
+// never cross the wire).
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("perftaint analyze", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL or host:port; empty analyzes in-process")
+	app := fs.String("app", "lulesh", "application to analyze: lulesh or milc")
+	cfgFlag := fs.String("config", "", "config overrides, e.g. 'p=16,size=5' (empty = app taint config)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-job deadline sent to the daemon (remote only)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file (local only)")
+	memProfile := fs.String("memprofile", "", "write an allocation profile (after the analysis) to this file (local only)")
+	fs.Parse(args)
+
+	overrides, err := parseConfig(*cfgFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if *addr != "" {
+		if *cpuProfile != "" || *memProfile != "" {
+			log.Fatal("-cpuprofile/-memprofile profile the in-process analysis; they cannot profile a remote daemon (use its -pprof listener)")
+		}
+		job, err := service.NewClient(*addr).Analyze(context.Background(), service.AnalyzeRequest{
+			App:       *app,
+			Config:    overrides,
+			TimeoutMS: timeout.Milliseconds(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		emitJSON(job)
+		if job.Status != service.StatusDone {
+			os.Exit(1)
+		}
+		return
+	}
+	analyzeLocal(*app, overrides, *cpuProfile, *memProfile)
+}
+
+// analyzeLocal is the in-process pipeline shared by `perftaint analyze`
+// (without -addr) and the deprecated bare-flags mode.
+func analyzeLocal(appName string, overrides apps.Config, cpuProfile, memProfile string) {
+	app, ok := service.BundledApps()[appName]
+	if !ok {
+		log.Fatalf("unknown app %q (want lulesh or milc)", appName)
+	}
+	// The daemon's overlay+validation, so a config the daemon would
+	// reject fails identically here.
+	cfg, err := service.MergedTaintConfig(app, overrides)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := app.New()
 
 	// Profiling hooks: the tainted run is the hot path of the whole system,
 	// and every past speedup here started from a profile, not a guess.
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
 		if err != nil {
 			log.Fatalf("cpuprofile: %v", err)
 		}
@@ -134,7 +193,7 @@ func runLocal(args []string) {
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
-			log.Printf("wrote CPU profile to %s (inspect with: go tool pprof %s)", *cpuProfile, *cpuProfile)
+			log.Printf("wrote CPU profile to %s (inspect with: go tool pprof %s)", cpuProfile, cpuProfile)
 		}()
 	}
 
@@ -146,8 +205,8 @@ func runLocal(args []string) {
 		log.Fatal(err)
 	}
 
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
 		if err != nil {
 			log.Fatalf("memprofile: %v", err)
 		}
@@ -156,11 +215,11 @@ func runLocal(args []string) {
 			log.Fatalf("memprofile: %v", err)
 		}
 		f.Close()
-		log.Printf("wrote allocation profile to %s (inspect with: go tool pprof %s)", *memProfile, *memProfile)
+		log.Printf("wrote allocation profile to %s (inspect with: go tool pprof %s)", memProfile, memProfile)
 	}
 
 	out := jsonReport{
-		AnalysisResult: *service.NewAnalysisResult(*app, core.SpecDigest(spec), rep,
+		AnalysisResult: *service.NewAnalysisResult(appName, core.SpecDigest(spec), rep,
 			service.DefaultCensusParams()),
 	}
 	for _, sel := range rep.Engine.TaintedSelections() {
@@ -186,9 +245,10 @@ func runServe(args []string) {
 	rate := fs.Float64("rate", 0, "per-client admission rate in tokens/second (0 = unlimited)")
 	burst := fs.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
 	maxBody := fs.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
+	cluster := cliutil.RegisterClusterFlags(fs)
 	fs.Parse(args)
 
-	srv, err := service.NewServer(service.Options{
+	opts := service.Options{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		JobTimeout:   *jobTimeout,
@@ -198,7 +258,11 @@ func runServe(args []string) {
 		Rate:         *rate,
 		Burst:        *burst,
 		MaxBodyBytes: *maxBody,
-	})
+	}
+	if err := cluster.Apply(&opts); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := service.NewServer(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -215,7 +279,7 @@ func runServe(args []string) {
 // runSubmit sends one analysis or a sweep to a running daemon.
 func runSubmit(args []string) {
 	fs := flag.NewFlagSet("perftaint submit", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL or host:port")
 	app := fs.String("app", "lulesh", "registered application name")
 	cfgFlag := fs.String("config", "", "config overrides, e.g. 'p=16,size=5' (empty = app taint config)")
 	sweepFlag := fs.String("sweep", "", "sweep axes, e.g. 'p=2,4,8;size=4,5' (switches to /v1/sweep)")
@@ -282,7 +346,7 @@ func runSubmit(args []string) {
 // runJob fetches (or waits out) a job submitted with -async.
 func runJob(args []string) {
 	fs := flag.NewFlagSet("perftaint job", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL or host:port")
 	id := fs.String("id", "", "job id, e.g. job-1")
 	wait := fs.Bool("wait", false, "poll until the job reaches a terminal status")
 	waitFor := fs.Duration("wait-timeout", 5*time.Minute, "give up polling after this long")
@@ -321,7 +385,7 @@ func runJob(args []string) {
 func runModel(args []string) {
 	fs := flag.NewFlagSet("perftaint model", flag.ExitOnError)
 	cfgPath := fs.String("config", "", "modeling config JSON (see examples/modeling/lulesh.json)")
-	addr := fs.String("addr", "", "daemon base URL; empty runs the sweep locally")
+	addr := fs.String("addr", "", "daemon base URL or host:port; empty runs the sweep in-process")
 	workers := fs.Int("workers", 0, "local sweep/fit concurrency (0 = GOMAXPROCS)")
 	quiet := fs.Bool("q", false, "suppress progress output")
 	fs.Parse(args)
@@ -502,7 +566,7 @@ func runCorpus(args []string) {
 // runStats prints the daemon's cache and scheduler counters.
 func runStats(args []string) {
 	fs := flag.NewFlagSet("perftaint stats", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL")
+	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL or host:port")
 	fs.Parse(args)
 	st, err := service.NewClient(*addr).Stats(context.Background())
 	if err != nil {

@@ -4,11 +4,22 @@
 //
 //	perftaintd -addr :7070 -workers 8 -cache-entries 16
 //
+// Daemons also cluster: a coordinator accepts the ordinary client API
+// and shards sweeps and model extractions across registered workers,
+// retrying failed shards and keeping the merged output byte-identical
+// to a single-node run.
+//
+//	perftaintd -addr :7070 -coordinator
+//	perftaintd -addr :7071 -worker -join http://coord-host:7070
+//	perftaintd -addr :7072 -worker -join http://coord-host:7070
+//
 // Endpoints: POST /v1/analyze, POST /v1/sweep (NDJSON stream),
 // POST /v1/models (sweep+fit with a content-addressed model registry),
-// GET /v1/models/{key}, GET /v1/jobs/{id}, GET /v1/stats, GET /healthz.
-// See internal/service for the wire schema and `perftaint submit` /
-// `perftaint model` for ready-made clients.
+// GET /v1/models/{key}, GET /v1/jobs/{id}, GET /v1/stats, GET /healthz,
+// plus the cluster surface: POST /v1/shard (any daemon), and on
+// coordinators POST /v1/worker/register, POST /v1/worker/heartbeat,
+// GET /v1/prepared/{digest}. See internal/service for the wire schema
+// and `perftaint submit` / `perftaint model` for ready-made clients.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/service"
 )
 
@@ -38,6 +50,7 @@ func main() {
 	burst := flag.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
 	maxBody := flag.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
 	pprofAddr := flag.String("pprof", "", "optional debug listen address for net/http/pprof (e.g. 127.0.0.1:6060); disabled when empty")
+	cluster := cliutil.RegisterClusterFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Opt-in profiling sidecar: the analysis endpoints stay on their own
@@ -53,7 +66,7 @@ func main() {
 		}()
 	}
 
-	srv, err := service.NewServer(service.Options{
+	opts := service.Options{
 		Workers:      *workers,
 		CacheEntries: *cacheEntries,
 		QueueDepth:   *queueDepth,
@@ -63,7 +76,11 @@ func main() {
 		Rate:         *rate,
 		Burst:        *burst,
 		MaxBodyBytes: *maxBody,
-	})
+	}
+	if err := cluster.Apply(&opts); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := service.NewServer(opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	perftaint "repro"
 )
@@ -156,5 +157,75 @@ func main() {
 	cancel2()
 	if err := <-done2; err != nil {
 		log.Fatal(err)
+	}
+
+	// 8. Scale out: one coordinator plus two workers. The coordinator
+	//    keeps the exact same client API and shards the sweep across the
+	//    workers — the merged stream is byte-identical to a single-node
+	//    run, so this block is all deployment and zero client changes.
+	//    In production this is
+	//    `perftaintd -addr :7070 -coordinator` plus
+	//    `perftaintd -addr :7071 -worker -join http://coord:7070` (x N).
+	fmt.Println("starting a 1-coordinator / 2-worker cluster")
+	cctx, ccancel := context.WithCancel(context.Background())
+	defer ccancel()
+	var drains []chan error
+	boot := func(opts perftaint.ServerOptions) string {
+		srv, err := perftaint.NewServer(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe(cctx, "127.0.0.1:0", ready) }()
+		drains = append(drains, done)
+		return <-ready
+	}
+	coordAddr := boot(perftaint.ServerOptions{Workers: 2, Coordinator: true})
+	for i := 0; i < 2; i++ {
+		boot(perftaint.ServerOptions{Workers: 2, JoinURL: "http://" + coordAddr})
+	}
+	coord := perftaint.NewClient("http://" + coordAddr)
+	for { // workers register on their first heartbeat tick
+		st, err := coord.Stats(cctx)
+		if err == nil && st.Cluster != nil && st.Cluster.LiveWorkers == 2 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Println("sweep p x size, sharded across 2 workers:")
+	err = coord.Sweep(cctx, perftaint.SweepRequest{
+		App: "lulesh",
+		Axes: []perftaint.SweepAxis{
+			{Param: "p", Values: []float64{2, 4, 8}},
+			{Param: "size", Values: []float64{4, 5}},
+		},
+	}, func(line perftaint.SweepLine) error {
+		if line.Error != "" {
+			return fmt.Errorf("config %d failed: %s", line.Index, line.Error)
+		}
+		fmt.Printf("  [%d] p=%-3g size=%g  instructions=%d\n",
+			line.Index, line.Config["p"], line.Config["size"], line.Result.Instructions)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cst, err := coord.Stats(cctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d live workers, %d shards dispatched, %d run locally, %d retries\n",
+		cst.Cluster.LiveWorkers, cst.Cluster.ShardsDispatched, cst.Cluster.ShardsLocal, cst.Cluster.ShardRetries)
+	if cst.Cluster.ShardsDispatched == 0 {
+		log.Fatal("coordinator never dispatched a shard")
+	}
+
+	ccancel()
+	for _, done := range drains {
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,52 @@
+// Package api is the versioned wire surface of the perftaintd daemon:
+// every request, response, and streamed record that crosses a process
+// boundary — the client API (analyze, sweep, jobs, stats, models), the
+// error envelope, and the cluster worker protocol (register, heartbeat,
+// shard dispatch) — lives here and nowhere else. The HTTP server
+// (internal/service), the Go client, and the coordinator/worker link all
+// consume these definitions, so a wire change is made exactly once and
+// every surface moves together.
+//
+// ProtocolVersion stamps the worker protocol: a worker registers with
+// its version, the coordinator rejects mismatches at registration time,
+// and every shard dispatch re-asserts it, so a mixed-version cluster
+// fails loudly at the handshake instead of corrupting a merged stream.
+package api
+
+import "fmt"
+
+// ProtocolVersion identifies the cluster wire protocol spoken by this
+// build. It is negotiated at worker registration (POST
+// /v1/worker/register) and re-checked on every shard dispatch; bump it
+// whenever a wire type changes incompatibly so old and new daemons
+// refuse to form a cluster instead of silently disagreeing.
+const ProtocolVersion = "perftaint-api-v1"
+
+// ErrorBody is the single error-envelope shape every endpoint answers
+// failures with: {"error": "..."} plus, on 429 responses, the suggested
+// retry delay. Handlers must not invent ad-hoc error shapes.
+type ErrorBody struct {
+	// Error is the human-readable failure description.
+	Error string `json:"error"`
+	// RetryAfterMS, on 429 responses, is how long the daemon suggests
+	// waiting before retrying; omitted otherwise.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// APIError is a decoded error response from the daemon. Callers that
+// need to react to specific statuses (429 backoff, 413 body splitting)
+// can errors.As for it instead of parsing message strings.
+type APIError struct {
+	// StatusCode is the HTTP status the daemon answered with.
+	StatusCode int
+	// Message is the daemon's error text.
+	Message string
+	// RetryAfterMS, on 429 responses, is how long the daemon suggests
+	// waiting before retrying (0 when the server sent no hint).
+	RetryAfterMS int64
+}
+
+// Error renders the status and the daemon's message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: %d: %s", e.StatusCode, e.Message)
+}

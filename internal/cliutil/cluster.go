@@ -1,0 +1,86 @@
+// Package cliutil carries flag plumbing shared by the perftaint and
+// perftaintd binaries. The cluster role flags live here so the
+// one-binary `perftaint serve` mode and the daemon proper expose the
+// exact same surface and can never drift apart.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ClusterFlags is the parsed cluster role and tuning flags. Zero values
+// mean "leave the server default alone", so a daemon started without any
+// cluster flags behaves exactly like one built before clustering existed.
+type ClusterFlags struct {
+	// Coordinator runs this daemon as the cluster coordinator.
+	Coordinator *bool
+	// Worker runs this daemon as a cluster worker; requires Join.
+	Worker *bool
+	// Join is the coordinator base URL a worker registers with.
+	Join *string
+	// Advertise is the base URL the coordinator dials this worker on.
+	Advertise *string
+	// ShardSize fixes design points per dispatched shard (0 = auto).
+	ShardSize *int
+	// ShardRetries bounds remote attempts per shard before local fallback.
+	ShardRetries *int
+	// ShardTimeout bounds one shard dispatch round-trip.
+	ShardTimeout *time.Duration
+	// HeartbeatInterval paces worker heartbeats and the liveness reaper.
+	HeartbeatInterval *time.Duration
+	// HeartbeatTimeout is how long a silent worker stays trusted.
+	HeartbeatTimeout *time.Duration
+}
+
+// RegisterClusterFlags adds the cluster flags to fs. Call Apply after
+// fs.Parse to validate the combination and fold it into service.Options.
+func RegisterClusterFlags(fs *flag.FlagSet) *ClusterFlags {
+	return &ClusterFlags{
+		Coordinator: fs.Bool("coordinator", false,
+			"run as the cluster coordinator: shard sweeps and model extractions across registered workers"),
+		Worker: fs.Bool("worker", false,
+			"run as a cluster worker (requires -join URL of the coordinator)"),
+		Join: fs.String("join", "",
+			"coordinator base URL to register with and heartbeat (implies -worker)"),
+		Advertise: fs.String("advertise", "",
+			"base URL the coordinator should dial this worker back on (empty derives it from the bound listen address)"),
+		ShardSize: fs.Int("shard-size", 0,
+			"design points per dispatched shard (0 = auto, about three shards per live worker)"),
+		ShardRetries: fs.Int("shard-retries", 0,
+			"remote dispatch attempts per shard before the coordinator runs it locally (0 = 3)"),
+		ShardTimeout: fs.Duration("shard-timeout", 0,
+			"deadline for one shard dispatch round-trip (0 = 2m)"),
+		HeartbeatInterval: fs.Duration("heartbeat-interval", 0,
+			"worker heartbeat and coordinator liveness-reaper period (0 = 1s)"),
+		HeartbeatTimeout: fs.Duration("heartbeat-timeout", 0,
+			"silence after which the coordinator benches a worker (0 = 4x heartbeat-interval)"),
+	}
+}
+
+// Apply validates the parsed combination and writes it into opts.
+// A daemon is standalone, a coordinator, or a worker — never two at once.
+func (c *ClusterFlags) Apply(opts *service.Options) error {
+	worker := *c.Worker || *c.Join != ""
+	if *c.Coordinator && worker {
+		return fmt.Errorf("-coordinator and -worker/-join are mutually exclusive: a daemon has one cluster role")
+	}
+	if *c.Worker && *c.Join == "" {
+		return fmt.Errorf("-worker requires -join URL (the coordinator to register with)")
+	}
+	if *c.Advertise != "" && !worker {
+		return fmt.Errorf("-advertise only applies to workers (add -join URL)")
+	}
+	opts.Coordinator = *c.Coordinator
+	opts.JoinURL = *c.Join
+	opts.AdvertiseURL = *c.Advertise
+	opts.ShardSize = *c.ShardSize
+	opts.ShardRetries = *c.ShardRetries
+	opts.ShardTimeout = *c.ShardTimeout
+	opts.HeartbeatInterval = *c.HeartbeatInterval
+	opts.HeartbeatTimeout = *c.HeartbeatTimeout
+	return nil
+}

@@ -63,6 +63,20 @@ func (l *Layer) Put(digest string, v any) {
 	_ = l.store.Put(digest, data)
 }
 
+// PutRaw persists an already-encoded payload under digest, bypassing the
+// codec. Callers that receive canonical payload bytes from elsewhere
+// (e.g. a worker adopting a spec receipt federated from its coordinator)
+// use it to seed the tier without a value round-trip; the payload is
+// verified like any other entry the next time Get decodes it. Returns
+// the store error for callers that want to know seeding failed; a nil
+// layer reports success, matching Put's nil-safety.
+func (l *Layer) PutRaw(digest string, payload []byte) error {
+	if l == nil {
+		return nil
+	}
+	return l.store.Put(digest, payload)
+}
+
 // Stats exposes the underlying store counters.
 func (l *Layer) Stats() Stats {
 	if l == nil {

@@ -117,40 +117,92 @@ func (pl *Pipeline) emit(ev Event) {
 	}
 }
 
+// Sample is the distilled observation one design point contributes to
+// the fitter: everything ConsumeSample needs, and nothing that cannot
+// cross a process boundary. A coordinator merging shard results from
+// remote workers reconstructs Samples from wire records (the full
+// core.Report never travels); the local path distills them from runner
+// results via ResultSample. The two must agree — same inputs, same
+// Sample — for distributed extraction to reproduce single-node models.
+type Sample struct {
+	// Index is the design-order position of this observation.
+	Index int
+	// Config is the fully-merged configuration analyzed at this point.
+	Config apps.Config
+	// Iterations sums the tainted run's loop iterations per function
+	// (SumLoopIterations of the report).
+	Iterations map[string]int64
+	// Instructions is the dynamic cost of the tainted run.
+	Instructions int64
+}
+
+// SumLoopIterations folds a report's per-loop engine records into
+// per-function totals — the MetricIterations observation of one design
+// point.
+func SumLoopIterations(rep *core.Report) map[string]int64 {
+	iters := make(map[string]int64)
+	for k, rec := range rep.Engine.Loops {
+		iters[k.Func] += rec.Iterations
+	}
+	return iters
+}
+
+// ResultSample distills a streamed sweep result into its Sample. A
+// failed result returns the error the pipeline aborts the stream with —
+// a missing design point would silently skew every model the sweep was
+// meant to produce.
+func ResultSample(res runner.Result) (Sample, error) {
+	if res.Err != nil {
+		return Sample{}, fmt.Errorf("modelreg: design point %d (%v): %w", res.Index, res.Config, res.Err)
+	}
+	return Sample{
+		Index:        res.Index,
+		Config:       res.Config,
+		Iterations:   SumLoopIterations(res.Report),
+		Instructions: res.Report.Instructions,
+	}, nil
+}
+
 // Consume folds one streamed sweep result into the datasets: the tainted
 // run's per-function loop iteration counts (MetricIterations) and the
 // synthetic instrumented measurement at the same configuration
 // (MetricSeconds). When a full batch of new points has accumulated, the
 // primary-metric models are refit incrementally. An analysis failure
-// aborts the stream — a missing design point would silently skew every
-// model the sweep was meant to produce.
+// aborts the stream.
 func (pl *Pipeline) Consume(res runner.Result) error {
-	if res.Err != nil {
-		return fmt.Errorf("modelreg: design point %d (%v): %w", res.Index, res.Config, res.Err)
+	s, err := ResultSample(res)
+	if err != nil {
+		return err
 	}
+	return pl.ConsumeSample(s)
+}
+
+// ConsumeSample folds one design point's distilled observation into the
+// datasets. It is the process-boundary-friendly half of Consume: the
+// MetricSeconds measurement is synthesized here — deterministically from
+// the seed and the sample's index, never from who computed the sample —
+// so a coordinator consuming remote samples produces the exact datasets
+// a single node would.
+func (pl *Pipeline) ConsumeSample(s Sample) error {
 	pv := make(map[string]float64, len(pl.cfg.Params))
 	for _, prm := range pl.cfg.Params {
-		pv[prm] = res.Config[prm]
+		pv[prm] = s.Config[prm]
 	}
 
 	for _, metric := range pl.cfg.Metrics {
 		switch metric {
 		case MetricIterations:
-			iters := make(map[string]int64)
-			for k, rec := range res.Report.Engine.Loops {
-				iters[k.Func] += rec.Iterations
-			}
 			for fn := range pl.funcs {
-				pl.dataset(fn, metric).Add(pv, float64(iters[fn]))
+				pl.dataset(fn, metric).Add(pv, float64(s.Iterations[fn]))
 			}
 		case MetricSeconds:
 			// Each design point derives its own noise stream from the
 			// seed and its index, so results do not depend on completion
 			// order and concurrent sweeps reproduce sequential ones.
-			src := noise.New(pl.cfg.Seed+int64(res.Index+1)*1_000_003, pl.cfg.RelNoise, 0)
-			prof, err := pl.clus.Measure(res.Config, pl.instrumented, pl.cfg.Reps, src)
+			src := noise.New(pl.cfg.Seed+int64(s.Index+1)*1_000_003, pl.cfg.RelNoise, 0)
+			prof, err := pl.clus.Measure(s.Config, pl.instrumented, pl.cfg.Reps, src)
 			if err != nil {
-				return fmt.Errorf("modelreg: measure design point %d: %w", res.Index, err)
+				return fmt.Errorf("modelreg: measure design point %d: %w", s.Index, err)
 			}
 			for fn := range pl.funcs {
 				if vals, ok := prof.FuncSeconds[fn]; ok {
@@ -161,8 +213,8 @@ func (pl *Pipeline) Consume(res runner.Result) error {
 	}
 
 	pl.points++
-	pl.emit(Event{Type: "point", Index: res.Index, Config: res.Config,
-		Instructions: res.Report.Instructions, Points: pl.points, Total: len(pl.cfgs)})
+	pl.emit(Event{Type: "point", Index: s.Index, Config: s.Config,
+		Instructions: s.Instructions, Points: pl.points, Total: len(pl.cfgs)})
 
 	if pl.cfg.Batch > 0 && pl.points%pl.cfg.Batch == 0 && pl.points < len(pl.cfgs) {
 		pl.refit()
@@ -362,17 +414,51 @@ func (pl *Pipeline) kind(fn string) string {
 	return "mpi"
 }
 
+// SweepFunc executes a modeling design and feeds one Sample per
+// configuration, in design order, to consume. A non-nil error from
+// consume must abort the sweep and be returned. Implementations: the
+// local runner (LocalSweep) and the service coordinator's distributed
+// shard merge.
+type SweepFunc func(ctx context.Context, cfgs []apps.Config, consume func(Sample) error) error
+
+// LocalSweep adapts the in-process runner to a SweepFunc: the design
+// streams through r's pipelined sweep and every result is distilled via
+// ResultSample.
+func LocalSweep(r *runner.Runner, p *core.Prepared) SweepFunc {
+	return func(ctx context.Context, cfgs []apps.Config, consume func(Sample) error) error {
+		return r.SweepFitCtx(ctx, p, cfgs, func(res runner.Result) error {
+			s, err := ResultSample(res)
+			if err != nil {
+				return err
+			}
+			return consume(s)
+		})
+	}
+}
+
+// ExtractWith runs the whole model-extraction pipeline over an arbitrary
+// sweep executor: build the pipeline (one local taint run), hand the
+// design to sweep, fold every sample into the incremental fitter, and
+// return the finished ModelSet. The executor controls only where design
+// points run; fitting, measurement synthesis, and ranking always happen
+// here, so any executor that delivers faithful samples in design order
+// produces the identical artifact. workers bounds the fitting fan-out;
+// onEvent (optional) observes progress.
+func ExtractWith(ctx context.Context, sweep SweepFunc, workers int, p *core.Prepared, cfg Config, onEvent func(Event)) (*ModelSet, error) {
+	pl, err := NewPipeline(p, cfg, workers, onEvent)
+	if err != nil {
+		return nil, err
+	}
+	if err := sweep(ctx, pl.Configs(), pl.ConsumeSample); err != nil {
+		return nil, err
+	}
+	return pl.Finish()
+}
+
 // Extract runs the whole model-extraction pipeline in one call: expand
 // the design, stream the sweep through r (pipelined, in design order),
 // feed every result into an incremental fitting pipeline, and return
 // the finished ModelSet. onEvent (optional) observes progress.
 func Extract(ctx context.Context, r *runner.Runner, p *core.Prepared, cfg Config, onEvent func(Event)) (*ModelSet, error) {
-	pl, err := NewPipeline(p, cfg, r.Workers, onEvent)
-	if err != nil {
-		return nil, err
-	}
-	if err := r.SweepFitCtx(ctx, p, pl.Configs(), pl.Consume); err != nil {
-		return nil, err
-	}
-	return pl.Finish()
+	return ExtractWith(ctx, LocalSweep(r, p), r.Workers, p, cfg, onEvent)
 }

@@ -2,13 +2,9 @@ package service
 
 import (
 	"fmt"
-	"sort"
-	"time"
 
+	"repro/internal/api"
 	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/diskcache"
-	"repro/internal/modelreg"
 )
 
 // App is one analyzable application registered with the daemon: a spec
@@ -29,155 +25,61 @@ func BundledApps() map[string]App {
 	}
 }
 
-// AnalyzeRequest is the body of POST /v1/analyze: one configuration of a
-// registered application. Config entries overlay the app's default taint
-// configuration, so an empty config analyzes the paper's taint run and
-// {"p": 16} changes only the rank count.
-type AnalyzeRequest struct {
-	App    string      `json:"app"`
-	Config apps.Config `json:"config,omitempty"`
-	// CensusParams selects the loop-relevance column of the census;
-	// defaults to the paper's model parameters {p, size}.
-	CensusParams []string `json:"census_params,omitempty"`
-	// Async, when true, returns the queued job immediately; poll it via
-	// GET /v1/jobs/{id}. The default waits for the result inline.
-	Async bool `json:"async,omitempty"`
-	// TimeoutMS bounds how long the job may wait to START: a job still
-	// queued past it is canceled, never run. Once started, a job always
-	// finishes — runs are bounded by interpreter fuel, not wall clock.
-	// 0 uses the server default; larger values clamp to it.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// SweepAxis is one swept parameter: mirrors runner.Axis on the wire.
-type SweepAxis struct {
-	Param  string    `json:"param"`
-	Values []float64 `json:"values"`
-}
-
-// SweepRequest is the body of POST /v1/sweep: a full-factorial design
-// over a registered application. The response streams one NDJSON
-// SweepLine per configuration in deterministic design order (last axis
-// varying fastest), so arbitrarily large designs never buffer
-// server-side.
-type SweepRequest struct {
-	App          string      `json:"app"`
-	Defaults     apps.Config `json:"defaults,omitempty"`
-	Axes         []SweepAxis `json:"axes"`
-	CensusParams []string    `json:"census_params,omitempty"`
-	// TimeoutMS optionally gives each configuration job a start-TTL
-	// from submission (clamped to the server default). 0 — the default —
-	// means sweep jobs live as long as the streaming request itself, so
-	// the tail of a large design is not doomed by its siblings' runtime.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// SweepLine is one NDJSON record of a sweep response.
-type SweepLine struct {
-	Index  int             `json:"index"`
-	JobID  string          `json:"job_id"`
-	Config apps.Config     `json:"config"`
-	Result *AnalysisResult `json:"result,omitempty"`
-	Error  string          `json:"error,omitempty"`
-}
-
-// Job lifecycle states reported by the API.
-const (
-	StatusQueued   = "queued"
-	StatusRunning  = "running"
-	StatusDone     = "done"
-	StatusFailed   = "failed"
-	StatusCanceled = "canceled"
+// The wire surface lives in the versioned internal/api package — one
+// definition per type, consumed by the server, the Go client, and the
+// cluster worker protocol alike. The aliases below keep this package's
+// historical names (and the perftaint facade's re-exports) pointing at
+// the single authoritative definitions.
+type (
+	// AnalyzeRequest is the body of POST /v1/analyze.
+	AnalyzeRequest = api.AnalyzeRequest
+	// SweepAxis is one swept parameter of a SweepRequest.
+	SweepAxis = api.SweepAxis
+	// SweepRequest is the body of POST /v1/sweep.
+	SweepRequest = api.SweepRequest
+	// SweepLine is one NDJSON record of a sweep response.
+	SweepLine = api.SweepLine
+	// JobInfo is the wire view of one scheduled analysis job.
+	JobInfo = api.JobInfo
+	// AnalysisResult is the wire projection of a core.Report.
+	AnalysisResult = api.AnalysisResult
+	// JobStats aggregates scheduler counters for /v1/stats.
+	JobStats = api.JobStats
+	// StatsResponse is the body of GET /v1/stats.
+	StatsResponse = api.StatsResponse
+	// CacheStats is a point-in-time snapshot of the PreparedCache
+	// counters.
+	CacheStats = api.CacheStats
+	// ModelRequest is the body of POST /v1/models.
+	ModelRequest = api.ModelRequest
+	// ModelResponse is the body of a finished model extraction.
+	ModelResponse = api.ModelResponse
+	// APIError is a decoded error response from the daemon.
+	APIError = api.APIError
 )
 
-// JobInfo is the wire view of one scheduled analysis job.
-type JobInfo struct {
-	ID         string      `json:"id"`
-	App        string      `json:"app"`
-	Status     string      `json:"status"`
-	Config     apps.Config `json:"config"`
-	SpecDigest string      `json:"spec_digest"`
-	Submitted  time.Time   `json:"submitted"`
-	Started    time.Time   `json:"started,omitzero"`
-	Finished   time.Time   `json:"finished,omitzero"`
-	// DurationMS is the run time of a finished job (excluding queueing).
-	DurationMS int64           `json:"duration_ms,omitempty"`
-	Result     *AnalysisResult `json:"result,omitempty"`
-	Error      string          `json:"error,omitempty"`
-}
+// Job lifecycle states reported by the API (aliases of the api package
+// constants).
+const (
+	// StatusQueued marks a job submitted but not yet claimed.
+	StatusQueued = api.StatusQueued
+	// StatusRunning marks a job claimed and executing.
+	StatusRunning = api.StatusRunning
+	// StatusDone marks a successfully finished job.
+	StatusDone = api.StatusDone
+	// StatusFailed marks a job whose analysis failed.
+	StatusFailed = api.StatusFailed
+	// StatusCanceled marks a job canceled before it could start.
+	StatusCanceled = api.StatusCanceled
+)
 
-// AnalysisResult is the paper-facing projection of a core.Report that
-// travels over the wire: the Table 2 census, per-function parameter
-// dependencies and symbolic volumes, the instrumentation filter, and the
-// dynamic cost of the tainted run. It mirrors the perftaint CLI's JSON
-// report so the golden snapshots under internal/core/testdata gate the
-// service responses too.
-type AnalysisResult struct {
-	App          string              `json:"app"`
-	SpecDigest   string              `json:"spec_digest"`
-	Census       core.Census         `json:"census"`
-	FuncDeps     map[string][]string `json:"function_dependencies"`
-	Volumes      map[string]string   `json:"volumes"`
-	Relevant     []string            `json:"instrumentation_filter"`
-	Recursion    []string            `json:"recursion_warnings,omitempty"`
-	Instructions int64               `json:"tainted_run_instructions"`
-}
-
-// NewAnalysisResult projects a report into its wire form.
-func NewAnalysisResult(app, digest string, rep *core.Report, censusParams []string) *AnalysisResult {
-	out := &AnalysisResult{
-		App:          app,
-		SpecDigest:   digest,
-		Census:       rep.Census(censusParams),
-		FuncDeps:     rep.FuncDeps,
-		Volumes:      make(map[string]string),
-		Recursion:    rep.Volumes.RecursionWarnings,
-		Instructions: rep.Instructions,
-	}
-	if out.FuncDeps == nil {
-		out.FuncDeps = map[string][]string{}
-	}
-	for fn := range rep.Relevant {
-		out.Relevant = append(out.Relevant, fn)
-	}
-	sort.Strings(out.Relevant)
-	for fn, deps := range rep.FuncDeps {
-		if len(deps) > 0 {
-			out.Volumes[fn] = rep.Volumes.ByFunc[fn].String()
-		}
-	}
-	return out
-}
-
-// JobStats aggregates scheduler counters for /v1/stats.
-type JobStats struct {
-	Submitted uint64 `json:"submitted"`
-	Completed uint64 `json:"completed"`
-	Failed    uint64 `json:"failed"`
-	Canceled  uint64 `json:"canceled"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
-}
-
-// StatsResponse is the body of GET /v1/stats.
-type StatsResponse struct {
-	UptimeMS int64                  `json:"uptime_ms"`
-	Workers  int                    `json:"workers"`
-	Apps     []string               `json:"apps"`
-	Cache    CacheStats             `json:"cache"`
-	Models   modelreg.RegistryStats `json:"models"`
-	Jobs     JobStats               `json:"jobs"`
-	// CacheDisk and ModelsDisk report the persistent tiers' store
-	// counters; all-zero when the daemon runs without a cache dir.
-	CacheDisk  diskcache.Stats `json:"cache_disk"`
-	ModelsDisk diskcache.Stats `json:"models_disk"`
-	// RateLimited counts requests rejected with 429 by admission control.
-	RateLimited uint64 `json:"rate_limited"`
-}
+// NewAnalysisResult projects a report into its wire form (alias of
+// api.NewAnalysisResult).
+var NewAnalysisResult = api.NewAnalysisResult
 
 // DefaultCensusParams is the census column used when a request does not
 // name its model parameters: the paper's {p, size}.
-func DefaultCensusParams() []string { return []string{"p", "size"} }
+func DefaultCensusParams() []string { return api.DefaultCensusParams() }
 
 // mergedConfig overlays overrides on the app's default taint config.
 func mergedConfig(app App, overrides apps.Config) apps.Config {
@@ -186,6 +88,23 @@ func mergedConfig(app App, overrides apps.Config) apps.Config {
 		cfg[k] = v
 	}
 	return cfg
+}
+
+// MergedTaintConfig overlays overrides on the app's default taint
+// configuration and validates both the override names and the merged
+// result — the exact merge+check the daemon applies to an /v1/analyze
+// request, exported so `perftaint analyze` without -addr produces the
+// same configuration (and the same rejections) as the remote path.
+func MergedTaintConfig(app App, overrides apps.Config) (apps.Config, error) {
+	spec := app.New()
+	if err := validateParamNames(spec, configKeys(overrides)); err != nil {
+		return nil, err
+	}
+	cfg := mergedConfig(app, overrides)
+	if err := validateConfig(spec, cfg); err != nil {
+		return nil, err
+	}
+	return cfg, nil
 }
 
 // validateConfig rejects configurations the pipeline would choke on with

@@ -72,20 +72,6 @@ type inflightCall struct {
 	err  error
 }
 
-// CacheStats is a point-in-time snapshot of the cache counters.
-type CacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	// DiskHits counts builds that were warm on the persistent tier: the
-	// digest was prepared by an earlier process and only rebuilt (once,
-	// under the singleflight) because the artifact itself cannot be
-	// serialized. Disk hits are not counted as misses.
-	DiskHits  uint64 `json:"disk_hits"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
-}
-
 // NewPreparedCache returns a cache bounded to capacity completed entries
 // (<= 0 means unbounded).
 func NewPreparedCache(capacity int) *PreparedCache {
@@ -204,6 +190,41 @@ func (c *PreparedCache) Contains(digest string) bool {
 	defer c.mu.Unlock()
 	_, ok := c.entries[digest]
 	return ok
+}
+
+// CanonicalBytes returns the canonical spec payload for digest if this
+// daemon knows it — from the in-memory entry (re-canonicalized from the
+// resident spec) or from the persistent tier (whose payload IS the
+// canonical byte stream, verified against the digest on read). It never
+// triggers a build and never touches recency or hit/miss counters; the
+// cluster's digest federation endpoint serves from it.
+func (c *PreparedCache) CanonicalBytes(digest string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[digest]; ok {
+		p := el.Value.(*cacheEntry).p
+		c.mu.Unlock()
+		return core.CanonicalSpecBytes(p.Spec), true
+	}
+	disk := c.disk
+	c.mu.Unlock()
+	if v, ok := disk.Get(digest); ok {
+		if data, ok := v.([]byte); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// SeedDisk files pre-serialized canonical spec bytes for digest on the
+// persistent tier without building anything. Workers use it to adopt a
+// spec receipt federated from their coordinator: the next Get for that
+// digest rebuilds through the disk-hit path instead of counting a cold
+// miss. A no-op without a persistent tier.
+func (c *PreparedCache) SeedDisk(digest string, payload []byte) error {
+	c.mu.Lock()
+	disk := c.disk
+	c.mu.Unlock()
+	return disk.PutRaw(digest, payload)
 }
 
 // Digests returns the resident content addresses in most- to

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/api"
 )
 
 // Client talks to a perftaintd daemon over its JSON HTTP API. The zero
@@ -22,9 +24,15 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// NewClient returns a client for the daemon at base.
+// NewClient returns a client for the daemon at base. A bare host:port
+// (no scheme) is normalized to http://, so every CLI -addr flag accepts
+// the same spellings.
 func NewClient(base string) *Client {
-	return &Client{BaseURL: strings.TrimRight(base, "/")}
+	base = strings.TrimRight(base, "/")
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{BaseURL: base}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -34,32 +42,11 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// APIError is a decoded error response from the daemon. Callers that
-// need to react to specific statuses (429 backoff, 413 body splitting)
-// can errors.As for it instead of parsing message strings.
-type APIError struct {
-	// StatusCode is the HTTP status the daemon answered with.
-	StatusCode int
-	// Message is the daemon's error text.
-	Message string
-	// RetryAfterMS, on 429 responses, is how long the daemon suggests
-	// waiting before retrying (0 when the server sent no hint).
-	RetryAfterMS int64
-}
-
-// Error renders the status and the daemon's message.
-func (e *APIError) Error() string {
-	return fmt.Sprintf("service: %d: %s", e.StatusCode, e.Message)
-}
-
-// apiError decodes the server's {"error": ...} envelope into an APIError.
+// apiError decodes the server's api.ErrorBody envelope into an APIError.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	out := &APIError{StatusCode: resp.StatusCode}
-	var env struct {
-		Error        string `json:"error"`
-		RetryAfterMS int64  `json:"retry_after_ms"`
-	}
+	out := &api.APIError{StatusCode: resp.StatusCode}
+	var env api.ErrorBody
 	if json.Unmarshal(body, &env) == nil && env.Error != "" {
 		out.Message = env.Error
 		out.RetryAfterMS = env.RetryAfterMS

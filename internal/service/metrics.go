@@ -251,6 +251,30 @@ func (s *Server) writeMetrics(w io.Writer) {
 	p.family("perftaintd_uptime_seconds", "Seconds since the daemon started.", "gauge")
 	p.sample("perftaintd_uptime_seconds", "", time.Since(s.start).Seconds())
 
+	if s.coord != nil {
+		cs := s.coord.stats()
+		p.family("perftaintd_cluster_workers", "Registered workers by liveness.", "gauge")
+		p.sample("perftaintd_cluster_workers", `state="live"`, float64(cs.LiveWorkers))
+		p.sample("perftaintd_cluster_workers", `state="dead"`, float64(len(cs.Workers)-cs.LiveWorkers))
+		p.family("perftaintd_cluster_shards_total", "Completed shards by execution site.", "counter")
+		for _, ws := range cs.Workers {
+			p.sample("perftaintd_cluster_shards_total", `worker="`+ws.ID+`"`, float64(ws.Shards))
+		}
+		p.sample("perftaintd_cluster_shards_total", `worker="coordinator-local"`, float64(cs.ShardsLocal))
+		p.family("perftaintd_cluster_shard_retries_total", "Shard dispatches that failed and were retried.", "counter")
+		p.sample("perftaintd_cluster_shard_retries_total", "", float64(cs.ShardRetries))
+		p.family("perftaintd_cluster_heartbeat_misses_total", "Live-to-dead worker transitions from heartbeat timeouts.", "counter")
+		p.sample("perftaintd_cluster_heartbeat_misses_total", "", float64(cs.HeartbeatMisses))
+		p.family("perftaintd_cluster_prepared_served_total", "Canonical spec payloads served to workers by digest.", "counter")
+		p.sample("perftaintd_cluster_prepared_served_total", "", float64(cs.FederatedFetches))
+		p.family("perftaintd_cluster_shard_duration_seconds", "Round-trip latency of successful remote shard dispatches.", "histogram")
+		p.histogram("perftaintd_cluster_shard_duration_seconds", "", s.coord.shardHist.Snapshot())
+	} else if wl := s.workerLinkRef(); wl != nil {
+		ws := wl.stats()
+		p.family("perftaintd_cluster_federated_fetches_total", "Prepared-spec payloads fetched from the coordinator by digest.", "counter")
+		p.sample("perftaintd_cluster_federated_fetches_total", "", float64(ws.FederatedFetches))
+	}
+
 	p.family("perftaintd_stage_duration_seconds",
 		"Latency by pipeline stage: prepare (per spec), run (per analysis job), fit (per model extraction).",
 		"histogram")

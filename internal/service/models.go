@@ -7,67 +7,10 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
 )
-
-// ModelRequest is the body of POST /v1/models: one end-to-end model
-// extraction — sweep the design, feed every point into the incremental
-// fitter, return the ranked model set. Results are content-addressed:
-// the same app (spec digest) and design answer from the model registry
-// without re-running anything.
-type ModelRequest struct {
-	// App names the registered application.
-	App string `json:"app"`
-	// Params are the model parameters; empty defaults to the axis
-	// parameters in axis order.
-	Params []string `json:"params,omitempty"`
-	// Defaults overlay the app's taint configuration for the non-swept
-	// parameters (same semantics as POST /v1/sweep).
-	Defaults map[string]float64 `json:"defaults,omitempty"`
-	// Axes span the full-factorial modeling design.
-	Axes []SweepAxis `json:"axes"`
-	// Reps, Seed, RelNoise, Batch and Metrics tune the measurement and
-	// fitting cadence; zero values take the modelreg defaults.
-	Reps     int      `json:"reps,omitempty"`
-	Seed     int64    `json:"seed,omitempty"`
-	RelNoise float64  `json:"rel_noise,omitempty"`
-	Batch    int      `json:"batch,omitempty"`
-	Metrics  []string `json:"metrics,omitempty"`
-	// Stream, when true, answers with NDJSON: one progress event per
-	// line (taint, point, refit) followed by a terminal "result" line
-	// carrying the ModelResponse. Cache hits skip straight to the
-	// result line.
-	Stream bool `json:"stream,omitempty"`
-}
-
-// ModelResponse is the body of a finished model extraction (and of
-// GET /v1/models/{key}).
-type ModelResponse struct {
-	// Key is the registry address: hash of spec digest + design digest.
-	Key string `json:"key"`
-	// SpecDigest and DesignDigest are the two halves of the address.
-	SpecDigest   string `json:"spec_digest"`
-	DesignDigest string `json:"design_digest"`
-	// Cached reports whether the set was served from the registry
-	// without a new sweep.
-	Cached bool `json:"cached"`
-	// ModelSet is the artifact itself.
-	ModelSet *modelreg.ModelSet `json:"model_set"`
-}
-
-// modelStreamLine is one NDJSON record of a streaming model response:
-// either a progress event (Type taint/point/refit) or the terminal
-// result (Type "result" with the ModelResponse fields set).
-type modelStreamLine struct {
-	modelreg.Event
-	Key          string             `json:"key,omitempty"`
-	SpecDigest   string             `json:"spec_digest,omitempty"`
-	DesignDigest string             `json:"design_digest,omitempty"`
-	Cached       bool               `json:"cached,omitempty"`
-	ModelSet     *modelreg.ModelSet `json:"model_set,omitempty"`
-	Error        string             `json:"error,omitempty"`
-}
 
 // ResolveModelDefaults overlays a modeling config's defaults on the
 // app's taint configuration — the one canonical merge. Every surface
@@ -133,8 +76,16 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	// even if every requester has gone away. Daemon shutdown cancels it.
 	build := func(onEvent func(modelreg.Event)) (*modelreg.ModelSet, error) {
 		start := time.Now()
-		ms, err := modelreg.Extract(s.baseCtx, &runner.Runner{Workers: s.opts.Workers},
-			prepared, cfg, onEvent)
+		// The design sweep shards across the cluster when this daemon
+		// coordinates live workers; fitting, measurement synthesis, and
+		// ranking always run here, so the artifact (and its registry key)
+		// is identical either way. A coordinator without live workers
+		// sweeps locally like any standalone daemon.
+		sweep := modelreg.LocalSweep(&runner.Runner{Workers: s.opts.Workers}, prepared)
+		if s.coord != nil && s.coord.hasLive() {
+			sweep = s.coord.sampleSweep(req.App, digest, prepared)
+		}
+		ms, err := modelreg.ExtractWith(s.baseCtx, sweep, s.opts.Workers, prepared, cfg, onEvent)
 		// The fit histogram observes real extractions only: cache and disk
 		// hits never reach this closure.
 		s.metrics.ObserveStage(StageFit, time.Since(start))
@@ -169,20 +120,20 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
-	emit := func(line *modelStreamLine) {
+	emit := func(line *api.ModelStreamLine) {
 		_ = enc.Encode(line)
 		_ = rc.Flush()
 	}
 	ms, cached, err := s.models.Get(key, func() (*modelreg.ModelSet, error) {
 		return build(func(ev modelreg.Event) {
-			emit(&modelStreamLine{Event: ev})
+			emit(&api.ModelStreamLine{Event: ev})
 		})
 	})
 	if err != nil {
-		emit(&modelStreamLine{Event: modelreg.Event{Type: "error"}, Error: err.Error()})
+		emit(&api.ModelStreamLine{Event: modelreg.Event{Type: "error"}, Error: err.Error()})
 		return
 	}
-	emit(&modelStreamLine{
+	emit(&api.ModelStreamLine{
 		Event: modelreg.Event{Type: "result"},
 		Key:   key, SpecDigest: digest, DesignDigest: ms.DesignDigest,
 		Cached: cached, ModelSet: ms,
@@ -235,7 +186,7 @@ func (c *Client) ModelsStream(ctx context.Context, req ModelRequest, onEvent fun
 	defer resp.Body.Close()
 	var result *ModelResponse
 	err = scanNDJSON(resp.Body, func(raw []byte) error {
-		var line modelStreamLine
+		var line api.ModelStreamLine
 		if err := json.Unmarshal(raw, &line); err != nil {
 			return fmt.Errorf("service: decode model stream line: %w", err)
 		}

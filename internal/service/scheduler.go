@@ -211,6 +211,25 @@ func (s *scheduler) newJob(base context.Context, startTTL time.Duration, app str
 	return j
 }
 
+// reserveJobIDs claims n consecutive job IDs from the scheduler's
+// counter without registering jobs. The coordinator's distributed sweep
+// path labels remotely-executed design points with these, so the merged
+// stream carries exactly the job-1..job-N sequence a single-node daemon
+// would have assigned — the byte-identity contract. Remote points are
+// accounted in ClusterStats rather than JobStats (they never enter this
+// scheduler's queue), and reserved IDs are not resolvable via
+// GET /v1/jobs, matching how sweep jobs age out of retention.
+func (s *scheduler) reserveJobIDs(n int) []string {
+	ids := make([]string, n)
+	s.mu.Lock()
+	for i := range ids {
+		s.nextID++
+		ids[i] = fmt.Sprintf("job-%d", s.nextID)
+	}
+	s.mu.Unlock()
+	return ids
+}
+
 // finishJob applies the terminal transition once and, if it won, files
 // the accounting and retention updates. Safe to call from the watcher,
 // submit error paths, and the worker concurrently.

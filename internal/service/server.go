@@ -7,12 +7,27 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze   one configuration; inline result or async job
-//	POST /v1/sweep     full-factorial design; streams NDJSON results
-//	GET  /v1/jobs/{id} job status and result
-//	GET  /v1/stats     cache hit/miss/eviction and scheduler counters
-//	GET  /healthz      liveness
+//	POST /v1/analyze            one configuration; inline result or async job
+//	POST /v1/sweep              full-factorial design; streams NDJSON results
+//	POST /v1/models             end-to-end model extraction; cached by content
+//	GET  /v1/jobs/{id}          job status and result
+//	GET  /v1/stats              cache, scheduler, and cluster counters
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               liveness
+//	POST /v1/worker/register    cluster: worker joins a coordinator
+//	POST /v1/worker/heartbeat   cluster: worker liveness
+//	GET  /v1/prepared/{digest}  cluster: canonical spec bytes by digest
+//	POST /v1/shard              cluster: execute one design shard (NDJSON)
 //
+// All wire types live in the versioned internal/api package; handlers
+// here only move them.
+//
+// Cluster roles: a daemon started with Options.Coordinator accepts the
+// same client API but partitions sweeps and model extractions into
+// contiguous design shards dispatched to registered workers, merging
+// results back into the exact single-node stream; a daemon with
+// Options.JoinURL registers with a coordinator and serves /v1/shard. A
+// coordinator with no live workers degrades to ordinary local execution.
 // Architecture: every submission resolves its spec through the
 // PreparedCache (canonical SHA-256 of the spec content; singleflight
 // deduplication of concurrent misses; LRU bound), then enters the bounded
@@ -33,8 +48,10 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/modelreg"
@@ -76,6 +93,31 @@ type Options struct {
 	Burst float64
 	// Apps extends or overrides the bundled application registry.
 	Apps map[string]App
+
+	// Coordinator enables cluster coordination: sweeps and model
+	// extractions shard across registered workers when any are live.
+	Coordinator bool
+	// JoinURL, when non-empty, runs this daemon as a cluster worker: it
+	// registers with the coordinator at this base URL and heartbeats
+	// until shutdown. Mutually exclusive with Coordinator.
+	JoinURL string
+	// AdvertiseURL is the base URL the coordinator should dial this
+	// worker back on; empty derives it from the bound listen address.
+	AdvertiseURL string
+	// ShardSize fixes the design points per dispatched shard; <= 0 sizes
+	// shards automatically (about three shards per live worker).
+	ShardSize int
+	// ShardRetries bounds remote dispatch attempts per shard before the
+	// coordinator runs the shard locally; <= 0 means 3.
+	ShardRetries int
+	// ShardTimeout bounds one shard dispatch round-trip; <= 0 means 2m.
+	ShardTimeout time.Duration
+	// HeartbeatInterval paces worker heartbeats and the coordinator's
+	// liveness reaper; <= 0 means 1s.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a worker may go silent before the
+	// coordinator benches it; <= 0 means 4x HeartbeatInterval.
+	HeartbeatTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +142,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 4 << 20
 	}
+	if o.ShardRetries <= 0 {
+		o.ShardRetries = 3
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 2 * time.Minute
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 4 * o.HeartbeatInterval
+	}
 	return o
 }
 
@@ -120,6 +174,12 @@ type Server struct {
 	// Close.
 	baseCtx context.Context
 	stop    context.CancelFunc
+
+	// coord is non-nil in coordinator mode; worker (guarded by clusterMu,
+	// set when a worker loop starts) is this daemon's cluster membership.
+	coord     *coordinator
+	clusterMu sync.Mutex
+	worker    *workerLink
 }
 
 // NewServer assembles a daemon from opts; the only failure mode is an
@@ -149,6 +209,9 @@ func NewServer(opts Options) (*Server, error) {
 		s.cache.SetDisk(prepared)
 		s.models.SetDisk(models)
 	}
+	if opts.Coordinator && opts.JoinURL != "" {
+		return nil, fmt.Errorf("service: a daemon is a coordinator or a worker, not both")
+	}
 	s.cache.onBuild = func(d time.Duration) { s.metrics.ObserveStage(StagePrepare, d) }
 	s.sched.onRun = func(d time.Duration) { s.metrics.ObserveStage(StageRun, d) }
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
@@ -160,6 +223,14 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
+	if opts.Coordinator {
+		s.coord = newCoordinator(s)
+		s.mux.HandleFunc("POST /v1/worker/register", s.coord.handleRegister)
+		s.mux.HandleFunc("POST /v1/worker/heartbeat", s.coord.handleHeartbeat)
+		s.mux.HandleFunc("GET /v1/prepared/{digest}", s.coord.handlePreparedServe)
+		go s.coord.reap(s.baseCtx)
+	}
 	return s, nil
 }
 
@@ -191,6 +262,15 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- s
 	}
 	if ready != nil {
 		ready <- ln.Addr().String()
+	}
+	if s.opts.JoinURL != "" {
+		advertise := s.opts.AdvertiseURL
+		if advertise == "" {
+			advertise = "http://" + dialableAddr(ln.Addr().String())
+		}
+		// Membership lives for the daemon, not any request; Close (via
+		// baseCtx) ends it.
+		s.StartWorkerLoop(s.baseCtx, s.opts.JoinURL, advertise)
 	}
 	// Slow-client hardening. ReadHeaderTimeout kills slowloris openers
 	// that trickle header bytes forever; ReadTimeout bounds the whole
@@ -228,6 +308,21 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, ready chan<- s
 	return err
 }
 
+// dialableAddr rewrites a bound listen address into one another host
+// can dial: the unspecified host (":7070", "0.0.0.0", "::") becomes
+// loopback, which is correct for single-machine clusters and for tests;
+// multi-host deployments set Options.AdvertiseURL explicitly.
+func dialableAddr(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
 // --- handlers ---
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -240,7 +335,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	resp := &StatsResponse{
 		UptimeMS:    time.Since(s.start).Milliseconds(),
 		Workers:     s.opts.Workers,
 		Apps:        names,
@@ -250,7 +345,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheDisk:   s.cache.DiskStats(),
 		ModelsDisk:  s.models.DiskStats(),
 		RateLimited: s.metrics.RateLimited(),
-	})
+	}
+	if s.coord != nil {
+		resp.Cluster = s.coord.stats()
+	} else if wl := s.workerLinkRef(); wl != nil {
+		resp.Cluster = wl.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -381,6 +482,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	params := censusParams(req.CensusParams)
+
+	// Coordinator path: with live workers, the design shards across the
+	// cluster; the merged stream is byte-identical to the local path
+	// below (same job-ID sequence, same line content, same order). With
+	// no live workers a coordinator degrades to the local path.
+	if s.coord != nil && s.coord.hasLive() {
+		s.sweepDistributed(w, r, req.App, digest, prepared, cfgs, params)
+		return
+	}
+
 	// Submit every configuration as its own job (request-scoped: a client
 	// disconnect cancels everything still queued), then stream results in
 	// design order as they complete. Sweep jobs get no start-TTL unless
@@ -391,7 +503,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		ttl = s.timeout(req.TimeoutMS)
 	}
-	params := censusParams(req.CensusParams)
 	jobs := make([]*job, 0, len(cfgs))
 	for _, cfg := range cfgs {
 		j := s.sched.newJob(r.Context(), ttl, req.App, prepared, digest, cfg, params)
@@ -427,6 +538,51 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(&line); err != nil {
 			return
 		}
+		_ = rc.Flush()
+	}
+}
+
+// sweepDistributed streams a sweep executed across the cluster. Job IDs
+// are reserved from the same scheduler counter the local path draws
+// from, so the emitted job-1..job-N sequence — and with it every byte of
+// the stream — matches what this daemon would have produced running the
+// design itself.
+func (s *Server) sweepDistributed(w http.ResponseWriter, r *http.Request, app, digest string, prepared *core.Prepared, cfgs []apps.Config, params []string) {
+	ids := s.sched.reserveJobIDs(len(cfgs))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+
+	// Shard work dies with the request or the daemon, whichever first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	errDrain := errors.New("service: draining")
+	err := s.coord.runSharded(ctx, app, digest, prepared, cfgs, params, func(line api.ShardLine) error {
+		if s.baseCtx.Err() != nil {
+			// Same in-band shutdown contract as the local path: one final
+			// well-formed error line, then stop.
+			drain := SweepLine{Index: line.Index, Error: "server draining: sweep stopped before completion"}
+			_ = enc.Encode(&drain)
+			_ = rc.Flush()
+			return errDrain
+		}
+		out := SweepLine{Index: line.Index, JobID: ids[line.Index], Config: cfgs[line.Index],
+			Result: line.Result, Error: line.Error}
+		if err := enc.Encode(&out); err != nil {
+			return err
+		}
+		_ = rc.Flush()
+		return nil
+	})
+	if err != nil && !errors.Is(err, errDrain) && s.baseCtx.Err() != nil && r.Context().Err() == nil {
+		// The daemon died between lines (context cancellation surfaced
+		// from runSharded itself): still announce the drain in-band.
+		drain := SweepLine{Error: "server draining: sweep stopped before completion"}
+		_ = enc.Encode(&drain)
 		_ = rc.Flush()
 	}
 }
@@ -516,9 +672,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, n float64) bool {
 	s.metrics.rateLimitedInc()
 	secs := int(retry/time.Second) + 1
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeJSON(w, http.StatusTooManyRequests, map[string]any{
-		"error":          fmt.Sprintf("rate limit exceeded for this client; retry in %ds", secs),
-		"retry_after_ms": retry.Milliseconds(),
+	writeJSON(w, http.StatusTooManyRequests, &api.ErrorBody{
+		Error:        fmt.Sprintf("rate limit exceeded for this client; retry in %ds", secs),
+		RetryAfterMS: retry.Milliseconds(),
 	})
 	return false
 }
@@ -531,6 +687,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// httpError answers with the API's single error envelope; handlers must
+// route every failure through it (or admit) so clients see one shape.
 func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, &api.ErrorBody{Error: err.Error()})
 }

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/runner"
+)
+
+// workerLink is a daemon's membership in a cluster: the registration and
+// heartbeat loop against its coordinator, plus the digest-federation
+// fetch path that seeds the local prepared cache from the coordinator's.
+type workerLink struct {
+	s         *Server
+	coordURL  string
+	advertise string
+	client    *http.Client
+
+	mu         sync.Mutex
+	workerID   string
+	fedFetches uint64
+}
+
+// StartWorkerLoop joins this daemon to the coordinator at coordURL,
+// advertising itself as reachable at advertise, and keeps the membership
+// alive (register, heartbeat, re-register when the coordinator forgets
+// us — e.g. after its restart) until ctx dies. ListenAndServe calls it
+// when Options.JoinURL is set; tests drive it directly against
+// httptest servers.
+func (s *Server) StartWorkerLoop(ctx context.Context, coordURL, advertise string) {
+	wl := &workerLink{
+		s:         s,
+		coordURL:  strings.TrimRight(coordURL, "/"),
+		advertise: strings.TrimRight(advertise, "/"),
+		client:    &http.Client{Timeout: 10 * time.Second},
+	}
+	s.setWorkerLink(wl)
+	go wl.run(ctx)
+}
+
+func (s *Server) setWorkerLink(wl *workerLink) {
+	s.clusterMu.Lock()
+	s.worker = wl
+	s.clusterMu.Unlock()
+}
+
+func (s *Server) workerLinkRef() *workerLink {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.worker
+}
+
+// run is the membership loop: ensure registration, then heartbeat at the
+// configured interval. A 404 heartbeat (the coordinator does not know
+// us) drops the registration so the next iteration re-registers; any
+// other failure just retries on the next tick — the coordinator benches
+// silent workers itself.
+func (wl *workerLink) run(ctx context.Context) {
+	t := time.NewTicker(wl.s.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		wl.mu.Lock()
+		id := wl.workerID
+		wl.mu.Unlock()
+		if id == "" {
+			wl.register(ctx)
+		} else {
+			wl.heartbeat(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// register performs the protocol handshake. The coordinator rejects
+// version mismatches here, so a worker that holds a workerID is known
+// wire-compatible.
+func (wl *workerLink) register(ctx context.Context) {
+	var resp api.RegisterResponse
+	err := wl.post(ctx, "/v1/worker/register",
+		&api.RegisterRequest{Protocol: api.ProtocolVersion, Addr: wl.advertise}, &resp)
+	if err != nil {
+		return
+	}
+	wl.mu.Lock()
+	wl.workerID = resp.WorkerID
+	wl.mu.Unlock()
+}
+
+func (wl *workerLink) heartbeat(ctx context.Context, id string) {
+	var resp api.HeartbeatResponse
+	err := wl.post(ctx, "/v1/worker/heartbeat", &api.HeartbeatRequest{WorkerID: id}, &resp)
+	var apiErr *api.APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+		wl.mu.Lock()
+		wl.workerID = ""
+		wl.mu.Unlock()
+	}
+}
+
+// post is a minimal JSON round-trip against the coordinator.
+func (wl *workerLink) post(ctx context.Context, path string, body, out any) error {
+	c := NewClient(wl.coordURL)
+	c.HTTP = wl.client
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// ensurePrepared makes the worker's cache aware of digest before a shard
+// builds it: if neither the memory tier nor the disk tier knows the
+// digest, the canonical spec bytes are fetched from the coordinator,
+// verified (sha256 of the payload must BE the digest), and seeded onto
+// the disk tier — so the subsequent build classifies as a federated
+// disk hit, and a digest the coordinator never served fails the shard
+// loudly instead of silently building from a different program. Best
+// effort: federation is an accelerator, and a fetch failure falls
+// through to the ordinary local build.
+func (wl *workerLink) ensurePrepared(ctx context.Context, digest string) {
+	if _, ok := wl.s.cache.CanonicalBytes(digest); ok {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wl.coordURL+"/v1/prepared/"+digest, nil)
+	if err != nil {
+		return
+	}
+	resp, err := wl.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != digest {
+		return
+	}
+	if wl.s.cache.SeedDisk(digest, data) == nil {
+		wl.mu.Lock()
+		wl.fedFetches++
+		wl.mu.Unlock()
+	}
+}
+
+// stats snapshots the worker-role cluster state for /v1/stats.
+func (wl *workerLink) stats() *api.ClusterStats {
+	wl.mu.Lock()
+	defer wl.mu.Unlock()
+	return &api.ClusterStats{
+		Role:             "worker",
+		FederatedFetches: wl.fedFetches,
+	}
+}
+
+// handleShard executes one contiguous design shard and streams its
+// results as NDJSON ShardLines in design order. Any daemon serves it —
+// shard execution needs nothing coordinator-specific — but in practice
+// only coordinators dispatch here. Shards are coordinator-internal
+// traffic and bypass client admission control: the originating client
+// request was already charged for every design point at the coordinator.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req api.ShardRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Protocol != api.ProtocolVersion {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("protocol mismatch: coordinator speaks %q, worker %q", req.Protocol, api.ProtocolVersion))
+		return
+	}
+	if len(req.Configs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("shard has no configs"))
+		return
+	}
+	if wl := s.workerLinkRef(); wl != nil {
+		wl.ensurePrepared(r.Context(), req.SpecDigest)
+	}
+	_, _, prepared, digest, err := s.resolve(req.App)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if digest != req.SpecDigest {
+		// The worker's registry builds a different program than the
+		// coordinator asked for — refusing is the only safe answer, since
+		// merged results must all come from one spec content.
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("spec digest mismatch for app %q: built %s, coordinator wants %s", req.App, digest, req.SpecDigest))
+		return
+	}
+	params := censusParams(req.CensusParams)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	rn := &runner.Runner{Workers: s.opts.Workers}
+	_ = rn.SweepFitCtx(r.Context(), prepared, req.Configs, func(res runner.Result) error {
+		line := shardLine(req.App, digest, req.Start+res.Index, params, res)
+		if err := enc.Encode(&line); err != nil {
+			return err
+		}
+		_ = rc.Flush()
+		return nil
+	})
+}
