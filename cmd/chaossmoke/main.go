@@ -1,0 +1,416 @@
+// Command chaossmoke is the CI crash-resilience gate: it drives real
+// perftaintd processes — a coordinator with a durable journal plus a
+// registered worker — through the failure modes the journal exists for,
+// and fails loudly unless every run ends in the byte-identical artifact
+// or a clean typed error.
+//
+// Three phases:
+//
+//  1. Golden: an unfaulted standalone daemon sweeps the reference
+//     design; its stream is the byte-level contract for everything after.
+//  2. Kill/resume: a coordinator+worker cluster runs the same sweep; the
+//     coordinator is SIGKILLed mid-stream after two lines, restarted on
+//     the same address and cache dir, and the retrying client must
+//     observe every design point exactly once with bytes equal to the
+//     golden stream. The restarted coordinator's /metrics must show the
+//     journal replay, and its journal must be fully compacted.
+//  3. Fault schedules: seeded faultinject schedules (PERFTAINT_FAULTS)
+//     are handed to fresh clusters through the environment; each run
+//     must reproduce the golden artifact (job IDs may shift when a fault
+//     kills an acceptance before it is durable) or fail cleanly.
+//
+// The /metrics scrape of the restarted coordinator is written to
+// -metrics-out so CI can archive the journal counters as an artifact.
+//
+//	chaossmoke -daemon ./perftaintd -schedules 25 -metrics-out chaos_metrics.txt
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+	"repro/internal/service"
+)
+
+var (
+	daemonPath = flag.String("daemon", "./perftaintd", "path to the perftaintd binary under test")
+	schedules  = flag.Int("schedules", 25, "seeded fault schedules to sweep in phase 3")
+	metricsOut = flag.String("metrics-out", "chaos_metrics.txt", "file the restarted coordinator's /metrics scrape is written to")
+)
+
+// sweepReq is the reference design every phase runs.
+func sweepReq() service.SweepRequest {
+	return service.SweepRequest{
+		App: "lulesh",
+		Axes: []service.SweepAxis{
+			{Param: "p", Values: []float64{2, 4}},
+			{Param: "size", Values: []float64{10, 14}},
+		},
+	}
+}
+
+// daemon is one spawned perftaintd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string // host:port it listens on
+	base string // http://addr
+}
+
+// startDaemon spawns perftaintd on addr with extra args and environment
+// entries, retrying briefly in case the previous owner of the port is
+// still letting go of it (the kill/restart phase reuses addresses).
+func startDaemon(addr string, extraEnv []string, args ...string) (*daemon, error) {
+	full := append([]string{"-addr", addr}, args...)
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		cmd := exec.Command(*daemonPath, full...)
+		cmd.Env = append(os.Environ(), extraEnv...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		d := &daemon{cmd: cmd, addr: addr, base: "http://" + addr}
+		if err := waitHealthy(d.base, 10*time.Second); err == nil {
+			return d, nil
+		} else {
+			lastErr = err
+		}
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+		time.Sleep(100 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("daemon on %s never became healthy: %w", addr, lastErr)
+}
+
+// freeAddr reserves an ephemeral localhost port and returns it.
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("reserve port: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until it answers 200 or the deadline hits.
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no healthy answer within %v (last: %v)", timeout, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitLiveWorkers polls the coordinator's stats until n workers are live.
+func waitLiveWorkers(base string, n int, timeout time.Duration) error {
+	c := service.NewClient(base)
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Stats(context.Background())
+		if err == nil && st.Cluster != nil && st.Cluster.LiveWorkers >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster never reached %d live workers", n)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// sigterm asks the daemon to drain and requires a clean exit.
+func sigterm(d *daemon, name string) {
+	if d == nil || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("%s did not drain cleanly on SIGTERM: %v", name, err)
+		}
+	case <-time.After(30 * time.Second):
+		_ = d.cmd.Process.Kill()
+		log.Fatalf("%s hung on SIGTERM", name)
+	}
+}
+
+// rawSweep POSTs the reference sweep with no resume headers and returns
+// the raw stream bytes.
+func rawSweep(base string) ([]byte, error) {
+	raw, err := json.Marshal(sweepReq())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/sweep", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// linesOf re-marshals client-observed sweep lines into the canonical
+// stream form so they compare byte-for-byte against a raw golden stream.
+func linesOf(lines []service.SweepLine) []byte {
+	var buf bytes.Buffer
+	for i := range lines {
+		raw, _ := json.Marshal(&lines[i])
+		buf.Write(raw)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// retryingClient builds the reconnecting client every phase drives the
+// cluster with.
+func retryingClient(base string) *service.Client {
+	c := service.NewClient(base)
+	c.Retries = 12
+	c.RetryBaseDelay = 50 * time.Millisecond
+	return c
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("chaossmoke: ")
+	flag.Parse()
+
+	golden := phaseGolden()
+	phaseKillResume(golden)
+	phaseSchedules(golden)
+
+	if err := leakcheck.Settle(5 * time.Second); err != nil {
+		log.Fatalf("goroutine leak after all phases: %v", err)
+	}
+	log.Print("all phases passed")
+}
+
+// phaseGolden records the uninterrupted single-daemon stream.
+func phaseGolden() []byte {
+	addr := freeAddr()
+	d, err := startDaemon(addr, nil)
+	if err != nil {
+		log.Fatalf("golden daemon: %v", err)
+	}
+	golden, err := rawSweep(d.base)
+	if err != nil {
+		log.Fatalf("golden sweep: %v", err)
+	}
+	sigterm(d, "golden daemon")
+	log.Printf("phase 1: golden stream captured (%d bytes)", len(golden))
+	return golden
+}
+
+// phaseKillResume SIGKILLs the coordinator mid-sweep, restarts it on the
+// same address and cache dir, and requires the reconnecting client to
+// assemble the golden bytes exactly once.
+func phaseKillResume(golden []byte) {
+	dir, err := os.MkdirTemp("", "chaossmoke-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	coordAddr := freeAddr()
+	coordArgs := []string{"-coordinator", "-cache-dir", dir, "-heartbeat-interval", "100ms", "-workers", "1", "-job-timeout", "120s"}
+	coord, err := startDaemon(coordAddr, nil, coordArgs...)
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	workerAddr := freeAddr()
+	worker, err := startDaemon(workerAddr, nil, "-join", coord.base, "-heartbeat-interval", "100ms")
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	if err := waitLiveWorkers(coord.base, 1, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// SIGKILL the coordinator after the second line; respawn it on the
+	// same address over the same cache dir while the client backs off.
+	var killOnce sync.Once
+	respawned := make(chan *daemon, 1)
+	var lines []service.SweepLine
+	client := retryingClient(coord.base)
+	err = client.Sweep(context.Background(), sweepReq(), func(l service.SweepLine) error {
+		lines = append(lines, l)
+		if len(lines) == 2 {
+			killOnce.Do(func() {
+				log.Printf("phase 2: SIGKILL coordinator after %d lines", len(lines))
+				_ = coord.cmd.Process.Kill()
+				_, _ = coord.cmd.Process.Wait()
+				go func() {
+					d, err := startDaemon(coordAddr, nil, coordArgs...)
+					if err != nil {
+						log.Fatalf("coordinator restart: %v", err)
+					}
+					respawned <- d
+				}()
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("phase 2: sweep across SIGKILL failed: %v", err)
+	}
+	if got := linesOf(lines); !bytes.Equal(got, golden) {
+		log.Fatalf("phase 2: resumed stream diverged from golden:\n got: %s\nwant: %s", got, golden)
+	}
+	coord2 := <-respawned
+
+	// The restarted coordinator's metrics are the journal's testimony:
+	// the sweep was replayed, and nothing is left open.
+	resp, err := http.Get(coord2.base + "/metrics")
+	if err != nil {
+		log.Fatalf("metrics scrape: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := os.WriteFile(*metricsOut, metrics, 0o644); err != nil {
+		log.Fatalf("write %s: %v", *metricsOut, err)
+	}
+	requireMetric(metrics, "perftaintd_journal_replays_total", func(v float64) bool { return v >= 1 })
+	requireMetric(metrics, "perftaintd_journal_open_jobs", func(v float64) bool { return v == 0 })
+	log.Printf("phase 2: byte-identical resume across SIGKILL; metrics written to %s", *metricsOut)
+
+	sigterm(worker, "worker")
+	sigterm(coord2, "restarted coordinator")
+}
+
+// requireMetric asserts a sample is present and its value passes ok.
+func requireMetric(metrics []byte, name string, ok func(float64) bool) {
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+			log.Fatalf("unparseable metric line %q: %v", line, err)
+		}
+		if !ok(v) {
+			log.Fatalf("metric %s = %v violates the gate", name, v)
+		}
+		return
+	}
+	log.Fatalf("metric %s missing from /metrics", name)
+}
+
+// phaseSchedules sweeps seeded fault schedules through real clusters:
+// each seed's schedule rides to both daemons in PERFTAINT_FAULTS, and
+// the retrying client must end with the golden artifact or a clean
+// typed error.
+func phaseSchedules(golden []byte) {
+	goldenLines := parseLines(golden)
+	failures := 0
+	for seed := 0; seed < *schedules; seed++ {
+		spec := faultinject.Random(int64(seed), 3).String()
+		env := []string{faultinject.EnvVar + "=" + spec}
+		dir, err := os.MkdirTemp("", "chaossmoke-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		coord, err := startDaemon(freeAddr(), env,
+			"-coordinator", "-cache-dir", dir, "-heartbeat-interval", "100ms", "-shard-timeout", "10s")
+		if err != nil {
+			log.Fatalf("seed %d: coordinator: %v", seed, err)
+		}
+		worker, err := startDaemon(freeAddr(), env, "-join", coord.base, "-heartbeat-interval", "100ms")
+		if err != nil {
+			log.Fatalf("seed %d: worker: %v", seed, err)
+		}
+		if err := waitLiveWorkers(coord.base, 1, 10*time.Second); err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		lines, err := retryingClient(coord.base).SweepAll(ctx, sweepReq())
+		cancel()
+		seen := make(map[int]bool)
+		for _, l := range lines {
+			if seen[l.Index] {
+				log.Fatalf("seed %d (%s): duplicate index %d", seed, spec, l.Index)
+			}
+			seen[l.Index] = true
+		}
+		if err != nil {
+			failures++
+			log.Printf("seed %d (%s): clean failure: %v", seed, spec, err)
+		} else if !linesMatchModuloJobID(lines, goldenLines) {
+			log.Fatalf("seed %d (%s): artifact diverged from golden", seed, spec)
+		}
+
+		sigterm(worker, fmt.Sprintf("seed %d worker", seed))
+		sigterm(coord, fmt.Sprintf("seed %d coordinator", seed))
+		os.RemoveAll(dir)
+	}
+	log.Printf("phase 3: %d schedules swept, %d clean failures, 0 corruptions", *schedules, failures)
+}
+
+// parseLines decodes a raw stream into lines.
+func parseLines(raw []byte) []service.SweepLine {
+	var out []service.SweepLine
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec service.SweepLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			log.Fatalf("bad golden line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// linesMatchModuloJobID compares artifacts ignoring job-ID labels (a
+// fault that kills an acceptance append before it is durable legally
+// shifts the retried sweep's ID block).
+func linesMatchModuloJobID(got, want []service.SweepLine) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.JobID, w.JobID = "", ""
+		gr, _ := json.Marshal(&g)
+		wr, _ := json.Marshal(&w)
+		if !bytes.Equal(gr, wr) {
+			return false
+		}
+	}
+	return true
+}

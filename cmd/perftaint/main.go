@@ -138,6 +138,7 @@ func runAnalyze(args []string) {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-job deadline sent to the daemon (remote only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file (local only)")
 	memProfile := fs.String("memprofile", "", "write an allocation profile (after the analysis) to this file (local only)")
+	retries := retriesFlag(fs)
 	fs.Parse(args)
 
 	overrides, err := parseConfig(*cfgFlag)
@@ -148,7 +149,7 @@ func runAnalyze(args []string) {
 		if *cpuProfile != "" || *memProfile != "" {
 			log.Fatal("-cpuprofile/-memprofile profile the in-process analysis; they cannot profile a remote daemon (use its -pprof listener)")
 		}
-		job, err := service.NewClient(*addr).Analyze(context.Background(), service.AnalyzeRequest{
+		job, err := newClient(*addr, *retries).Analyze(context.Background(), service.AnalyzeRequest{
 			App:       *app,
 			Config:    overrides,
 			TimeoutMS: timeout.Milliseconds(),
@@ -285,9 +286,10 @@ func runSubmit(args []string) {
 	sweepFlag := fs.String("sweep", "", "sweep axes, e.g. 'p=2,4,8;size=4,5' (switches to /v1/sweep)")
 	async := fs.Bool("async", false, "submit without waiting; prints the queued job")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-job deadline sent to the daemon")
+	retries := retriesFlag(fs)
 	fs.Parse(args)
 
-	client := service.NewClient(*addr)
+	client := newClient(*addr, *retries)
 	ctx := context.Background()
 
 	if *sweepFlag != "" {
@@ -350,11 +352,12 @@ func runJob(args []string) {
 	id := fs.String("id", "", "job id, e.g. job-1")
 	wait := fs.Bool("wait", false, "poll until the job reaches a terminal status")
 	waitFor := fs.Duration("wait-timeout", 5*time.Minute, "give up polling after this long")
+	retries := retriesFlag(fs)
 	fs.Parse(args)
 	if *id == "" {
 		log.Fatal("job requires -id (as printed by submit -async)")
 	}
-	client := service.NewClient(*addr)
+	client := newClient(*addr, *retries)
 	ctx := context.Background()
 	var (
 		info *service.JobInfo
@@ -388,6 +391,7 @@ func runModel(args []string) {
 	addr := fs.String("addr", "", "daemon base URL or host:port; empty runs the sweep in-process")
 	workers := fs.Int("workers", 0, "local sweep/fit concurrency (0 = GOMAXPROCS)")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	retries := retriesFlag(fs)
 	fs.Parse(args)
 	if *cfgPath == "" {
 		log.Fatal("model requires -config FILE (a modelreg.Config JSON document)")
@@ -423,7 +427,7 @@ func runModel(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		resp, err := service.NewClient(*addr).ModelsStream(context.Background(), req, progress)
+		resp, err := newClient(*addr, *retries).ModelsStream(context.Background(), req, progress)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -567,12 +571,28 @@ func runCorpus(args []string) {
 func runStats(args []string) {
 	fs := flag.NewFlagSet("perftaint stats", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:7070", "daemon base URL or host:port")
+	retries := retriesFlag(fs)
 	fs.Parse(args)
-	st, err := service.NewClient(*addr).Stats(context.Background())
+	st, err := newClient(*addr, *retries).Stats(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	emitJSON(st)
+}
+
+// retriesFlag registers the shared -retries flag every remote subcommand
+// carries: how many times the client resubmits a failed or broken-off
+// request before giving up. Sweeps reconnect with Last-Seq so a retried
+// stream resumes where it left off instead of replaying from the start.
+func retriesFlag(fs *flag.FlagSet) *int {
+	return fs.Int("retries", 3, "client retries on transport errors and retryable statuses (0 = fail fast); sweep reconnects resume mid-stream")
+}
+
+// newClient builds the daemon client for a subcommand, honoring -retries.
+func newClient(addr string, retries int) *service.Client {
+	c := service.NewClient(addr)
+	c.Retries = retries
+	return c
 }
 
 // parseConfig reads "k=v,k=v" into overrides.

@@ -28,11 +28,13 @@ import (
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for the -pprof listener
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -50,8 +52,15 @@ func main() {
 	burst := flag.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
 	maxBody := flag.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
 	pprofAddr := flag.String("pprof", "", "optional debug listen address for net/http/pprof (e.g. 127.0.0.1:6060); disabled when empty")
+	journalOn := flag.Bool("journal", true, "journal sweep/model progress under <cache-dir>/journal so a restarted daemon resumes interrupted work; requires -cache-dir, ignored without it")
 	cluster := cliutil.RegisterClusterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Deterministic fault injection for crash drills: PERFTAINT_FAULTS
+	// holds a seeded schedule (see internal/faultinject); empty means none.
+	if err := faultinject.InstallFromEnv(os.Getenv(faultinject.EnvVar)); err != nil {
+		log.Fatal(err)
+	}
 
 	// Opt-in profiling sidecar: the analysis endpoints stay on their own
 	// mux, so the debug surface is never exposed on the service address.
@@ -67,15 +76,16 @@ func main() {
 	}
 
 	opts := service.Options{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		QueueDepth:   *queueDepth,
-		JobTimeout:   *jobTimeout,
-		ModelEntries: *modelEntries,
-		CacheDir:     *cacheDir,
-		Rate:         *rate,
-		Burst:        *burst,
-		MaxBodyBytes: *maxBody,
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		QueueDepth:     *queueDepth,
+		JobTimeout:     *jobTimeout,
+		ModelEntries:   *modelEntries,
+		CacheDir:       *cacheDir,
+		Rate:           *rate,
+		Burst:          *burst,
+		MaxBodyBytes:   *maxBody,
+		DisableJournal: !*journalOn,
 	}
 	if err := cluster.Apply(&opts); err != nil {
 		log.Fatal(err)

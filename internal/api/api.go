@@ -19,8 +19,24 @@ import "fmt"
 // build. It is negotiated at worker registration (POST
 // /v1/worker/register) and re-checked on every shard dispatch; bump it
 // whenever a wire type changes incompatibly so old and new daemons
-// refuse to form a cluster instead of silently disagreeing.
-const ProtocolVersion = "perftaint-api-v1"
+// refuse to form a cluster instead of silently disagreeing. v2 added
+// the monotone seq field to streamed sweep/model lines and the
+// resumable-stream headers.
+const ProtocolVersion = "perftaint-api-v2"
+
+// Resume headers spoken on the streaming endpoints: a client that lost
+// its connection mid-stream reconnects with the same Idempotency-Key
+// and the last seq it fully consumed, and the server replays journaled
+// lines after Last-Seq before continuing live.
+const (
+	// HeaderLastSeq carries the highest seq the client has already
+	// consumed; the server skips journaled lines at or below it.
+	HeaderLastSeq = "Last-Seq"
+	// HeaderIdempotencyKey distinguishes deliberate duplicate submissions
+	// from retries of the same logical request: retries reuse the key
+	// (joining the journaled job), fresh submissions omit or change it.
+	HeaderIdempotencyKey = "Idempotency-Key"
+)
 
 // ErrorBody is the single error-envelope shape every endpoint answers
 // failures with: {"error": "..."} plus, on 429 responses, the suggested

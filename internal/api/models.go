@@ -56,6 +56,9 @@ type ModelResponse struct {
 // either a progress event (Type taint/point/refit) or the terminal
 // result (Type "result" with the ModelResponse fields set).
 type ModelStreamLine struct {
+	// Seq is the line's monotone position in the stream, starting at 1
+	// (same resume semantics as SweepLine.Seq).
+	Seq int64 `json:"seq"`
 	modelreg.Event
 	// Key, SpecDigest, DesignDigest, Cached, and ModelSet mirror the
 	// ModelResponse on the terminal "result" line.

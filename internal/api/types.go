@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/diskcache"
+	"repro/internal/journal"
 	"repro/internal/modelreg"
 )
 
@@ -65,6 +66,11 @@ type SweepRequest struct {
 
 // SweepLine is one NDJSON record of a sweep response.
 type SweepLine struct {
+	// Seq is the line's monotone position in the stream, starting at 1;
+	// a reconnecting client sends the last seq it consumed in the
+	// Last-Seq header and the server resumes after it. Control lines
+	// (the drain notice) carry seq 0 and are never replayed.
+	Seq int64 `json:"seq"`
 	// Index is the record's position in design order.
 	Index int `json:"index"`
 	// JobID identifies the job that produced this record.
@@ -209,6 +215,9 @@ type StatsResponse struct {
 	// Cluster reports the coordinator/worker state; nil on a standalone
 	// daemon, so single-node stats responses are unchanged.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Journal reports the durable job journal's counters; nil when the
+	// daemon runs without one (no cache dir, or -journal=false).
+	Journal *journal.Stats `json:"journal,omitempty"`
 }
 
 // CacheStats is a point-in-time snapshot of the PreparedCache counters.

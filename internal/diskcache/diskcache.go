@@ -29,6 +29,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // magic tags every cache file; a file without it was not written by this
@@ -89,6 +91,12 @@ func (s *Store) Get(digest string) ([]byte, bool) {
 	if s == nil || !validDigest(digest) {
 		return nil, false
 	}
+	if f, ok := faultinject.Eval(faultinject.SiteDiskRead); ok && f.Kind == faultinject.KindError {
+		// An injected read error behaves exactly like an absent entry: the
+		// never-poison contract means unreadable always degrades to miss.
+		s.count(func() { s.misses++ })
+		return nil, false
+	}
 	raw, err := os.ReadFile(s.path(digest))
 	if err != nil {
 		s.count(func() { s.misses++ })
@@ -124,7 +132,32 @@ func (s *Store) Put(digest string, payload []byte) error {
 		return fmt.Errorf("diskcache: temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	_, werr := tmp.Write(append([]byte(header), payload...))
+	full := append([]byte(header), payload...)
+	if f, ok := faultinject.Eval(faultinject.SiteDiskWrite); ok {
+		switch f.Kind {
+		case faultinject.KindError:
+			tmp.Close()
+			return faultinject.Errf(f)
+		case faultinject.KindTorn:
+			// A torn write: a prefix of the entry lands under the live name
+			// with no error reported — the worst case the verify-on-read
+			// header protects against. Get must treat it as a miss.
+			cut := faultinject.Cut(f, len(full))
+			tmp.Write(full[:cut]) //nolint:errcheck // injected partial write
+			tmp.Close()
+			if err := os.Rename(tmp.Name(), s.path(digest)); err != nil {
+				return fmt.Errorf("diskcache: publish %s: %w", digest, err)
+			}
+			s.count(func() { s.puts++ })
+			return nil
+		case faultinject.KindCrash:
+			cut := faultinject.Cut(f, len(full))
+			tmp.Write(full[:cut]) //nolint:errcheck // injected partial write
+			tmp.Close()
+			return faultinject.Errf(f)
+		}
+	}
+	_, werr := tmp.Write(full)
 	if werr == nil {
 		werr = tmp.Sync()
 	}
@@ -137,8 +170,23 @@ func (s *Store) Put(digest string, payload []byte) error {
 	if err := os.Rename(tmp.Name(), s.path(digest)); err != nil {
 		return fmt.Errorf("diskcache: publish %s: %w", digest, err)
 	}
+	// The rename made the entry visible; fsyncing the directory makes it
+	// durable. Without this, a power loss after Put returns can forget
+	// the directory entry even though the data blocks were synced.
+	syncDir(s.root)
 	s.count(func() { s.puts++ })
 	return nil
+}
+
+// syncDir fsyncs a directory so entry renames inside it survive power
+// loss; best-effort because not every platform supports directory sync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best-effort durability barrier
+	d.Close()
 }
 
 // Delete removes the entry for digest, if present.

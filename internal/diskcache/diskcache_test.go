@@ -3,12 +3,15 @@ package diskcache
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 func digestOf(payload string) string {
@@ -238,5 +241,75 @@ func TestNilLayerAndStoreAreInert(t *testing.T) {
 	s.Delete(digestOf("x"))
 	if s.Len() != 0 || s.Stats() != (Stats{}) {
 		t.Fatal("nil store not inert")
+	}
+}
+
+// TestStoreTornWriteIsNeverServed is the crash-durability regression:
+// a torn write (injected via faultinject) leaves a prefix of the entry
+// under the live name with no error reported — exactly what a power
+// loss mid-write produces. Verify-on-read must treat it as a miss,
+// delete it, and let the next Put replace it with a good entry.
+func TestStoreTornWriteIsNeverServed(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
+		t.Run(fmt.Sprintf("frac-%v", frac), func(t *testing.T) {
+			prev := faultinject.Install(faultinject.MustSchedule(faultinject.Fault{
+				Site: faultinject.SiteDiskWrite, Hit: 1, Kind: faultinject.KindTorn, Frac: frac,
+			}))
+			t.Cleanup(func() { faultinject.Install(prev) })
+
+			st, err := Open(t.TempDir(), "v1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := []byte("the artifact that tears")
+			digest := digestOf(string(payload))
+			if err := st.Put(digest, payload); err != nil {
+				t.Fatalf("torn Put must report success (the write was acknowledged): %v", err)
+			}
+			if _, ok := st.Get(digest); ok {
+				t.Fatal("torn entry served as a hit")
+			}
+			if got := st.Stats(); got.Dropped != 1 {
+				t.Fatalf("torn entry not dropped on read: %+v", got)
+			}
+			// The site fired once; the replacement write is clean.
+			if err := st.Put(digest, payload); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := st.Get(digest)
+			if !ok || string(got) != string(payload) {
+				t.Fatalf("replacement entry unreadable: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestStoreInjectedWriteCrash covers KindCrash at the write site: the
+// Put fails with a clean typed error, nothing lands under the live
+// name, and the store keeps working afterwards.
+func TestStoreInjectedWriteCrash(t *testing.T) {
+	prev := faultinject.Install(faultinject.MustSchedule(faultinject.Fault{
+		Site: faultinject.SiteDiskWrite, Hit: 1, Kind: faultinject.KindCrash, Frac: 0.5,
+	}))
+	t.Cleanup(func() { faultinject.Install(prev) })
+
+	st, err := Open(t.TempDir(), "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("crash mid write")
+	digest := digestOf(string(payload))
+	err = st.Put(digest, payload)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("crash Put error = %v, want ErrInjected", err)
+	}
+	if _, ok := st.Get(digest); ok {
+		t.Fatal("crashed write became visible")
+	}
+	if err := st.Put(digest, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(digest); !ok {
+		t.Fatal("store wedged after injected crash")
 	}
 }

@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// install swaps in a schedule for the duration of a test.
+func install(t *testing.T, s *Schedule) {
+	t.Helper()
+	prev := Install(s)
+	t.Cleanup(func() { Install(prev) })
+}
+
+func TestEvalFiresOnScheduledHit(t *testing.T) {
+	install(t, MustSchedule(Fault{Site: SiteDiskWrite, Hit: 2, Kind: KindTorn, Frac: 0.5}))
+
+	if _, ok := Eval(SiteDiskWrite); ok {
+		t.Fatal("hit 1 should not fire")
+	}
+	f, ok := Eval(SiteDiskWrite)
+	if !ok || f.Kind != KindTorn {
+		t.Fatalf("hit 2: got %+v ok=%v, want torn fault", f, ok)
+	}
+	if _, ok := Eval(SiteDiskWrite); ok {
+		t.Fatal("hit 3 should not fire")
+	}
+	if _, ok := Eval(SiteDiskRead); ok {
+		t.Fatal("other sites should not fire")
+	}
+	if got := Installed().Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+}
+
+func TestEvalDisabledByDefault(t *testing.T) {
+	install(t, nil)
+	if _, ok := Eval(SiteJournalAppend); ok {
+		t.Fatal("no schedule installed; Eval must not fire")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "coordinator.dispatch@1:drop;diskcache.write@2:torn:0.5;journal.append@3:crash:0.25"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != spec {
+		t.Fatalf("round trip: got %q, want %q", got, spec)
+	}
+}
+
+func TestParseLatencyDelay(t *testing.T) {
+	s, err := Parse("worker.shard@1:latency:15ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	install(t, s)
+	f, ok := Eval(SiteShardStream)
+	if !ok || f.Kind != KindLatency || f.Delay != 15*time.Millisecond {
+		t.Fatalf("got %+v ok=%v, want 15ms latency", f, ok)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"nope@1:error",            // unknown site
+		"diskcache.write@0:error", // hit < 1
+		"diskcache.write@1:what",  // unknown kind
+		"diskcache.write:error",   // missing @hit
+		"diskcache.write@x:error", // non-numeric hit
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(42, 3), Random(42, 3)
+	if a.String() != b.String() {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	if Random(43, 3).String() == a.String() {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+	// Every generated schedule must survive its own round trip, so it can
+	// cross a process boundary via the environment.
+	for seed := int64(0); seed < 50; seed++ {
+		s := Random(seed, 3)
+		back, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("seed %d: Parse(String): %v", seed, err)
+		}
+		if back.String() != s.String() {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}
+
+func TestErrfIsErrInjected(t *testing.T) {
+	err := Errf(Fault{Site: SiteDiskWrite, Hit: 1, Kind: KindError})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Errf result is not ErrInjected: %v", err)
+	}
+}
+
+func TestCutBounds(t *testing.T) {
+	if got := Cut(Fault{Frac: 0}, 10); got != 5 {
+		t.Fatalf("default frac: got %d, want 5", got)
+	}
+	if got := Cut(Fault{Frac: 2}, 10); got != 9 {
+		t.Fatalf("overshoot clamps to n-1: got %d", got)
+	}
+	if got := Cut(Fault{Frac: 0.5}, 1); got != 0 {
+		t.Fatalf("n=1 clamps to 0: got %d", got)
+	}
+}
+
+func TestInstallFromEnv(t *testing.T) {
+	install(t, nil)
+	if err := InstallFromEnv(""); err != nil {
+		t.Fatal(err)
+	}
+	if Installed() != nil {
+		t.Fatal("empty value must leave injection off")
+	}
+	if err := InstallFromEnv("diskcache.read@1:error"); err != nil {
+		t.Fatal(err)
+	}
+	if Installed() == nil {
+		t.Fatal("schedule should be installed")
+	}
+	Install(nil)
+	if err := InstallFromEnv("bogus"); err == nil {
+		t.Fatal("malformed spec must error")
+	}
+}

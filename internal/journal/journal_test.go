@@ -1,0 +1,248 @@
+package journal
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func acquire(t *testing.T, s *Store, kind, key string) *Job {
+	t.Helper()
+	j, err := s.Acquire(context.Background(), kind, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestRoundTripAndResume(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+
+	j := acquire(t, s, KindSweep, "abc123")
+	if _, ok := j.Accept(); ok {
+		t.Fatal("fresh journal should have no accept")
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Append(Record{Type: TypeAccept, Kind: KindSweep, Key: "abc123", App: "lulesh", N: 3, FirstJobID: 7}))
+	must(j.Append(Record{Type: TypePoint, Index: 0, Line: json.RawMessage(`{"seq":1}`)}))
+	must(j.Append(Record{Type: TypePoint, Index: 1, Line: json.RawMessage(`{"seq":2}`)}))
+	j.Release()
+
+	// Reopen the whole store (simulated restart) and resume.
+	s2 := open(t, dir)
+	if st := s2.Stats(); st.OpenJobs != 1 {
+		t.Fatalf("OpenJobs = %d, want 1", st.OpenJobs)
+	}
+	j2 := acquire(t, s2, KindSweep, "abc123")
+	acc, ok := j2.Accept()
+	if !ok || acc.App != "lulesh" || acc.N != 3 || acc.FirstJobID != 7 {
+		t.Fatalf("accept = %+v ok=%v", acc, ok)
+	}
+	pts := j2.Points()
+	if len(pts) != 2 || pts[0].Index != 0 || pts[1].Index != 1 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if string(pts[1].Line) != `{"seq":2}` {
+		t.Fatalf("line bytes not preserved: %q", pts[1].Line)
+	}
+	must(j2.Append(Record{Type: TypePoint, Index: 2, Line: json.RawMessage(`{"seq":3}`)}))
+	if err := j2.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.OpenJobs != 0 || st.Compactions != 1 {
+		t.Fatalf("after Done: %+v, want 0 open / 1 compaction", st)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	j := acquire(t, s, KindSweep, "k1")
+	if err := j.Append(Record{Type: TypeAccept, Kind: KindSweep, Key: "k1", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypePoint, Index: 0, Line: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	j.Release()
+
+	// Tear the tail: append half a frame, as a crash mid-append would.
+	path := filepath.Join(dir, fileName(KindSweep, "k1"))
+	fr := frame([]byte(`{"type":"point","index":1}`))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(fr[:len(fr)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir)
+	if st := s2.Stats(); st.RecoveredTails != 1 {
+		t.Fatalf("RecoveredTails = %d, want 1", st.RecoveredTails)
+	}
+	j2 := acquire(t, s2, KindSweep, "k1")
+	if got := len(j2.Points()); got != 1 {
+		t.Fatalf("points after torn-tail recovery = %d, want 1", got)
+	}
+	j2.Release()
+}
+
+func TestCorruptHeaderRestartsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, fileName(KindModel, "k2"))
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, dir)
+	j := acquire(t, s, KindModel, "k2")
+	if _, ok := j.Accept(); ok {
+		t.Fatal("corrupt journal must restart empty")
+	}
+	j.Release()
+}
+
+func TestSemanticPrefixValidation(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	j := acquire(t, s, KindSweep, "k3")
+	appendAll(t, j,
+		Record{Type: TypeAccept, Kind: KindSweep, Key: "k3", N: 5},
+		Record{Type: TypePoint, Index: 0},
+		Record{Type: TypePoint, Index: 3}, // gap: invalid from here on
+	)
+	j.Release()
+
+	j2 := acquire(t, open(t, dir), KindSweep, "k3")
+	if got := len(j2.Points()); got != 1 {
+		t.Fatalf("out-of-order suffix must be dropped; points = %d, want 1", got)
+	}
+	j2.Release()
+
+	// Accept under the wrong key is discarded entirely.
+	j3 := acquire(t, open(t, dir), KindSweep, "other")
+	if _, ok := j3.Accept(); ok {
+		t.Fatal("accept for a different key must not be visible")
+	}
+	j3.Release()
+}
+
+func TestOpenCompactsTerminalJournals(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	j := acquire(t, s, KindSweep, "k4")
+	appendAll(t, j,
+		Record{Type: TypeAccept, Kind: KindSweep, Key: "k4", N: 1},
+		Record{Type: TypePoint, Index: 0},
+		Record{Type: TypeDone},
+	)
+	j.Release() // left on disk with a terminal record (Done() not used)
+
+	s2 := open(t, dir)
+	if st := s2.Stats(); st.OpenJobs != 0 || st.Compactions != 1 {
+		t.Fatalf("terminal journal must be compacted on open: %+v", st)
+	}
+}
+
+func TestAcquireLockExcludes(t *testing.T) {
+	s := open(t, t.TempDir())
+	j := acquire(t, s, KindSweep, "k5")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	if _, err := s.Acquire(ctx, KindSweep, "k5"); err == nil {
+		t.Fatal("second acquire of a held key should block until ctx death")
+	}
+
+	// Different key is independent.
+	j6 := acquire(t, s, KindSweep, "k6")
+	j6.Release()
+
+	j.Release()
+	j2 := acquire(t, s, KindSweep, "k5") // released: acquirable again
+	j2.Release()
+}
+
+func TestInjectedAppendFaults(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	j := acquire(t, s, KindSweep, "k7")
+	if err := j.Append(Record{Type: TypeAccept, Kind: KindSweep, Key: "k7", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	prev := faultinject.Install(faultinject.MustSchedule(
+		faultinject.Fault{Site: faultinject.SiteJournalAppend, Hit: 1, Kind: faultinject.KindCrash, Frac: 0.5},
+	))
+	err := j.Append(Record{Type: TypePoint, Index: 0, Line: json.RawMessage(`{"x":1}`)})
+	faultinject.Install(prev)
+	if err == nil {
+		t.Fatal("injected crash must surface as an error")
+	}
+	j.Release()
+
+	// The torn half-frame must be invisible after recovery.
+	s2 := open(t, dir)
+	j2 := acquire(t, s2, KindSweep, "k7")
+	if got := len(j2.Points()); got != 0 {
+		t.Fatalf("crashed append leaked %d point(s)", got)
+	}
+	// And the journal must accept appends again at the same position.
+	if err := j2.Append(Record{Type: TypePoint, Index: 0, Line: json.RawMessage(`{"x":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilStoreAndJobAreNoOps(t *testing.T) {
+	var s *Store
+	j, err := s.Acquire(context.Background(), KindSweep, "k")
+	if err != nil || j != nil {
+		t.Fatalf("nil store Acquire = (%v, %v), want (nil, nil)", j, err)
+	}
+	if err := j.Append(Record{Type: TypeAccept}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(); err != nil {
+		t.Fatal(err)
+	}
+	j.Release()
+	if _, ok := j.Accept(); ok {
+		t.Fatal("nil job has no accept")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats = %+v", st)
+	}
+}
+
+func appendAll(t *testing.T, j *Job, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -17,11 +21,27 @@ import (
 // Client talks to a perftaintd daemon over its JSON HTTP API. The zero
 // HTTP client is http.DefaultClient; sweeps stream, so no response is
 // ever buffered wholesale.
+//
+// With Retries > 0 every verb rides through transient failures: 429s
+// are retried after the server's Retry-After hint, transport errors and
+// 502/503/504 with capped jittered exponential backoff, and Sweep
+// reconnects mid-stream — it resubmits with an Idempotency-Key plus the
+// last consumed seq and the server replays from its journal, so a
+// daemon restart is invisible in the emitted line sequence.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7070".
 	BaseURL string
 	// HTTP overrides the transport; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retries is how many times a failed request (or broken stream) is
+	// retried after the first attempt. 0 — the zero value — disables all
+	// retrying, preserving fail-fast behavior for callers that manage
+	// their own.
+	Retries int
+	// RetryBaseDelay seeds the exponential backoff (doubling per attempt,
+	// jittered, capped at 5s; a server Retry-After hint overrides upward,
+	// capped at 30s). <= 0 means 100ms.
+	RetryBaseDelay time.Duration
 }
 
 // NewClient returns a client for the daemon at base. A bare host:port
@@ -56,37 +76,131 @@ func apiError(resp *http.Response) error {
 	return out
 }
 
+// permanentError marks a failure retrying cannot fix (a server-side
+// extraction failure, a caller abort); the retry loops pass it through.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// retryable classifies an error for the retry loops: 429 and gateway-ish
+// statuses retry, other API errors are the server's final word, and
+// anything not typed (transport failures, broken streams, a daemon
+// mid-restart) retries.
+func retryable(err error) bool {
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		return false
+	}
+	var apiErr *api.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// retryDelay computes the wait before retry number attempt (0-based):
+// jittered exponential backoff from RetryBaseDelay capped at 5s, pushed
+// up (capped at 30s) by a server Retry-After hint when one rode in on
+// the error.
+func (c *Client) retryDelay(attempt int, err error) time.Duration {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	// Full jitter on the top half keeps reconnecting clients from
+	// stampeding a freshly-restarted daemon in lockstep.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	var apiErr *api.APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfterMS > 0 {
+		if hint := time.Duration(apiErr.RetryAfterMS) * time.Millisecond; hint > d {
+			d = hint
+		}
+		if d > 30*time.Second {
+			d = 30 * time.Second
+		}
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx dies, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retry runs op under the client's retry policy: up to Retries extra
+// attempts, only for retryable errors, never past ctx.
+func (c *Client) retry(ctx context.Context, op func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt >= c.Retries || !retryable(err) {
+			return err
+		}
+		if sleepErr := sleepCtx(ctx, c.retryDelay(attempt, err)); sleepErr != nil {
+			return err
+		}
+	}
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		raw, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("service: encode request: %w", err)
 		}
-		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
-	if err != nil {
-		return fmt.Errorf("service: build request: %w", err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return fmt.Errorf("service: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return apiError(resp)
-	}
-	if out == nil {
+	return c.retry(ctx, func() error {
+		var rd io.Reader
+		if raw != nil {
+			rd = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return &permanentError{fmt.Errorf("service: build request: %w", err)}
+		}
+		if raw != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("service: %s %s: %w", method, path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			return apiError(resp)
+		}
+		if out == nil {
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("service: decode %s response: %w", path, err)
+		}
 		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("service: decode %s response: %w", path, err)
-	}
-	return nil
+	})
 }
 
 // Health checks liveness.
@@ -149,7 +263,9 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 
 // stream POSTs body to path and returns the raw streaming response;
 // the caller owns resp.Body. Error statuses are decoded and returned.
-func (c *Client) stream(ctx context.Context, path string, body any) (*http.Response, error) {
+// hdr entries (may be nil) are added to the request — the resume
+// headers ride here.
+func (c *Client) stream(ctx context.Context, path string, body any, hdr map[string]string) (*http.Response, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return nil, fmt.Errorf("service: encode %s request: %w", path, err)
@@ -159,6 +275,9 @@ func (c *Client) stream(ctx context.Context, path string, body any) (*http.Respo
 		return nil, fmt.Errorf("service: build %s request: %w", path, err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		httpReq.Header.Set(k, v)
+	}
 	resp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("service: POST %s: %w", path, err)
@@ -197,8 +316,48 @@ func scanNDJSON(r io.Reader, emit func(line []byte) error) error {
 // itself with a final jobless error record) is surfaced as an error
 // rather than passed to emit, so callers can tell "server stopped" from
 // "stream truncated" and from an ordinary per-config failure.
+//
+// With Retries > 0 a broken or aborted stream reconnects transparently:
+// the resubmission carries a content-derived Idempotency-Key plus the
+// last consumed seq, the server replays its journal from there, and
+// already-emitted lines are deduplicated by seq — emit observes each
+// design point exactly once, in order, across any number of daemon
+// restarts. Progress resets the attempt budget, so a long sweep is not
+// starved by retries spent on earlier disconnects.
 func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLine) error) error {
-	resp, err := c.stream(ctx, "/v1/sweep", &req)
+	idem := idempotencyKey(&req)
+	var lastSeq int64
+	for attempt := 0; ; attempt++ {
+		before := lastSeq
+		err := c.sweepOnce(ctx, &req, idem, &lastSeq, emit)
+		if err == nil {
+			return nil
+		}
+		if lastSeq > before {
+			attempt = 0
+		}
+		if ctx.Err() != nil || attempt >= c.Retries || !retryable(err) {
+			var perm *permanentError
+			if errors.As(err, &perm) {
+				return perm.err
+			}
+			return err
+		}
+		if sleepErr := sleepCtx(ctx, c.retryDelay(attempt, err)); sleepErr != nil {
+			return err
+		}
+	}
+}
+
+// sweepOnce runs one connection's worth of a sweep, advancing *lastSeq
+// as lines are consumed and skipping journal-replayed lines the caller
+// has already seen.
+func (c *Client) sweepOnce(ctx context.Context, req *SweepRequest, idem string, lastSeq *int64, emit func(SweepLine) error) error {
+	hdr := map[string]string{api.HeaderIdempotencyKey: idem}
+	if *lastSeq > 0 {
+		hdr[api.HeaderLastSeq] = fmt.Sprintf("%d", *lastSeq)
+	}
+	resp, err := c.stream(ctx, "/v1/sweep", req, hdr)
 	if err != nil {
 		return err
 	}
@@ -209,10 +368,31 @@ func (c *Client) Sweep(ctx context.Context, req SweepRequest, emit func(SweepLin
 			return fmt.Errorf("service: decode sweep line: %w", err)
 		}
 		if rec.JobID == "" && rec.Error != "" {
+			// Drain/abort lines are control flow: retryable (the daemon is
+			// restarting or journaling hiccuped), never passed to emit.
 			return fmt.Errorf("service: sweep aborted by server: %s", rec.Error)
 		}
-		return emit(rec)
+		if rec.Seq > 0 && rec.Seq <= *lastSeq {
+			// Replayed line the previous connection already delivered.
+			return nil
+		}
+		if err := emit(rec); err != nil {
+			return &permanentError{err}
+		}
+		if rec.Seq > *lastSeq {
+			*lastSeq = rec.Seq
+		}
+		return nil
 	})
+}
+
+// idempotencyKey derives the resume key from the request content: the
+// same design resubmitted by a reconnecting client (even a restarted
+// client process) addresses the same journaled job on the server.
+func idempotencyKey(req *SweepRequest) string {
+	raw, _ := json.Marshal(req)
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // SweepAll collects a sweep into a slice; convenient for small designs.

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 // clusterNode is one daemon of a test cluster plus its HTTP front.
@@ -25,6 +27,7 @@ type clusterNode struct {
 // worker i's handler (fault injection).
 func startCluster(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler) (*Client, *clusterNode, []*clusterNode) {
 	t.Helper()
+	leakcheck.Check(t) // registered first => verified after every node closes
 	coordSrv, err := NewServer(Options{
 		Workers:           2,
 		Coordinator:       true,

@@ -15,6 +15,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
 )
@@ -363,6 +364,20 @@ func (co *coordinator) runShard(ctx context.Context, app, digest string, prepare
 func (co *coordinator) dispatch(ctx context.Context, ref *workerRef, req *api.ShardRequest) ([]api.ShardLine, error) {
 	ctx, cancel := context.WithTimeout(ctx, co.s.opts.ShardTimeout)
 	defer cancel()
+	if f, ok := faultinject.Eval(faultinject.SiteDispatch); ok {
+		// An injected dispatch fault looks like a network failure before the
+		// request left the coordinator: the retry-on-survivors path must
+		// absorb it exactly like a real connection refusal.
+		if f.Kind == faultinject.KindLatency {
+			select {
+			case <-time.After(f.Delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		} else {
+			return nil, fmt.Errorf("service: dispatch shard to %s: %w", ref.id, faultinject.Errf(f))
+		}
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("service: encode shard: %w", err)

@@ -248,6 +248,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 	p.family("perftaintd_ratelimit_clients", "Client token buckets currently tracked.", "gauge")
 	p.sample("perftaintd_ratelimit_clients", "", float64(s.limiter.clients()))
 
+	if s.journal != nil {
+		jst := s.journal.Stats()
+		p.family("perftaintd_journal_open_jobs", "Journaled jobs accepted but not yet terminal.", "gauge")
+		p.sample("perftaintd_journal_open_jobs", "", float64(jst.OpenJobs))
+		p.family("perftaintd_journal_bytes", "Total size of open journal files on disk.", "gauge")
+		p.sample("perftaintd_journal_bytes", "", float64(jst.Bytes))
+		p.family("perftaintd_journal_appends_total", "Records durably appended (fsynced) since start.", "counter")
+		p.sample("perftaintd_journal_appends_total", "", float64(jst.Appends))
+		p.family("perftaintd_journal_replays_total", "Jobs resumed from a non-empty journal since start.", "counter")
+		p.sample("perftaintd_journal_replays_total", "", float64(jst.Replays))
+		p.family("perftaintd_journal_recovered_tails_total", "Torn or corrupt journal frames discarded during recovery.", "counter")
+		p.sample("perftaintd_journal_recovered_tails_total", "", float64(jst.RecoveredTails))
+		p.family("perftaintd_journal_compactions_total", "Terminal journals removed after their job finished.", "counter")
+		p.sample("perftaintd_journal_compactions_total", "", float64(jst.Compactions))
+	}
+
 	p.family("perftaintd_uptime_seconds", "Seconds since the daemon started.", "gauge")
 	p.sample("perftaintd_uptime_seconds", "", time.Since(s.start).Seconds())
 

@@ -3,11 +3,14 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/apps"
+	"repro/internal/journal"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
 )
@@ -85,6 +88,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		if s.coord != nil && s.coord.hasLive() {
 			sweep = s.coord.sampleSweep(req.App, digest, prepared)
 		}
+		// Journal-backed resume: measured samples are made durable as they
+		// arrive, keyed by the registry key, so a daemon restarted
+		// mid-extraction replays the journaled prefix (absolute indices
+		// preserved, hence identical synthetic noise, hence a byte-identical
+		// ModelSet and registry key) and sweeps only the remaining tail.
+		sweep = s.journaledSweep(key, sweep)
 		ms, err := modelreg.ExtractWith(s.baseCtx, sweep, s.opts.Workers, prepared, cfg, onEvent)
 		// The fit histogram observes real extractions only: cache and disk
 		// hits never reach this closure.
@@ -120,7 +129,10 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
+	var seq int64
 	emit := func(line *api.ModelStreamLine) {
+		seq++
+		line.Seq = seq
 		_ = enc.Encode(line)
 		_ = rc.Flush()
 	}
@@ -138,6 +150,66 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		Key:   key, SpecDigest: digest, DesignDigest: ms.DesignDigest,
 		Cached: cached, ModelSet: ms,
 	})
+}
+
+// journaledSweep wraps a model-extraction SweepFunc with journal-backed
+// resume. Completed samples are journaled (fsynced) before they reach
+// the fit pipeline; on resume, the journaled prefix is re-fed with its
+// original absolute design indices — the synthetic measurement noise is
+// seeded per index, so replay reproduces the exact samples and the
+// finished ModelSet is byte-identical to an uninterrupted extraction —
+// then inner sweeps only the remaining design tail. A nil journal
+// returns inner unchanged.
+func (s *Server) journaledSweep(key string, inner modelreg.SweepFunc) modelreg.SweepFunc {
+	if s.journal == nil {
+		return inner
+	}
+	return func(ctx context.Context, cfgs []apps.Config, consume func(modelreg.Sample) error) error {
+		jj, err := s.journal.Acquire(ctx, journal.KindModel, key)
+		if err != nil {
+			return fmt.Errorf("service: model journal: %w", err)
+		}
+		defer jj.Release()
+		if acc, ok := jj.Accept(); ok && acc.N != len(cfgs) {
+			// Same key, different design size: do not trust the journal.
+			jj.Release()
+			return inner(ctx, cfgs, consume)
+		} else if !ok {
+			if err := jj.Append(journal.Record{Type: journal.TypeAccept, Kind: journal.KindModel,
+				Key: key, N: len(cfgs)}); err != nil {
+				return fmt.Errorf("service: model journal: %w", err)
+			}
+		}
+		samples := jj.Samples()
+		for _, rec := range samples {
+			smp := modelreg.Sample{Index: rec.Index, Config: cfgs[rec.Index],
+				Iterations: rec.Iterations, Instructions: rec.Instructions}
+			if err := consume(smp); err != nil {
+				return err
+			}
+		}
+		done := len(samples)
+		if done < len(cfgs) {
+			err := inner(ctx, cfgs[done:], func(smp modelreg.Sample) error {
+				// inner indexes relative to the tail it was handed; restore
+				// the absolute design position before journaling or fitting.
+				smp.Index += done
+				smp.Config = cfgs[smp.Index]
+				if err := jj.Append(journal.Record{Type: journal.TypeSample, Index: smp.Index,
+					Iterations: smp.Iterations, Instructions: smp.Instructions}); err != nil {
+					return fmt.Errorf("service: model journal: %w", err)
+				}
+				return consume(smp)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		// The extraction itself succeeded; a failed terminal append only
+		// means the next submission replays instead of starting cold.
+		_ = jj.Done()
+		return nil
+	}
 }
 
 func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
@@ -177,37 +249,58 @@ func (c *Client) ModelByKey(ctx context.Context, key string) (*ModelResponse, er
 // onEvent (optional) observes every progress line, and the terminal
 // result line is returned. A server-side failure arrives as an error
 // even though the HTTP status was already 200 when streaming began.
+//
+// With Retries > 0 a broken stream resubmits the whole request: the
+// server's registry and journal make resubmission idempotent (journaled
+// samples replay instead of re-running), but progress events may repeat
+// across a reconnect — onEvent consumers should treat events as
+// at-least-once. The returned result is unaffected: it is served from
+// the content-addressed registry either way.
 func (c *Client) ModelsStream(ctx context.Context, req ModelRequest, onEvent func(modelreg.Event)) (*ModelResponse, error) {
 	req.Stream = true
-	resp, err := c.stream(ctx, "/v1/models", &req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
 	var result *ModelResponse
-	err = scanNDJSON(resp.Body, func(raw []byte) error {
-		var line api.ModelStreamLine
-		if err := json.Unmarshal(raw, &line); err != nil {
-			return fmt.Errorf("service: decode model stream line: %w", err)
+	err := c.retry(ctx, func() error {
+		resp, err := c.stream(ctx, "/v1/models", &req, nil)
+		if err != nil {
+			return err
 		}
-		switch line.Type {
-		case "result":
-			result = &ModelResponse{Key: line.Key, SpecDigest: line.SpecDigest,
-				DesignDigest: line.DesignDigest, Cached: line.Cached, ModelSet: line.ModelSet}
-		case "error":
-			return fmt.Errorf("service: model extraction failed: %s", line.Error)
-		default:
-			if onEvent != nil {
-				onEvent(line.Event)
+		defer resp.Body.Close()
+		result = nil
+		err = scanNDJSON(resp.Body, func(raw []byte) error {
+			var line api.ModelStreamLine
+			if err := json.Unmarshal(raw, &line); err != nil {
+				return fmt.Errorf("service: decode model stream line: %w", err)
 			}
+			switch line.Type {
+			case "result":
+				result = &ModelResponse{Key: line.Key, SpecDigest: line.SpecDigest,
+					DesignDigest: line.DesignDigest, Cached: line.Cached, ModelSet: line.ModelSet}
+			case "error":
+				// The server finished the extraction and it failed; retrying
+				// would re-run the same failing build.
+				return &permanentError{fmt.Errorf("service: model extraction failed: %s", line.Error)}
+			default:
+				if onEvent != nil {
+					onEvent(line.Event)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if result == nil {
+			// Truncated stream: the daemon died before the result line.
+			return fmt.Errorf("service: model stream ended without a result line")
 		}
 		return nil
 	})
 	if err != nil {
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return nil, perm.err
+		}
 		return nil, err
-	}
-	if result == nil {
-		return nil, fmt.Errorf("service: model stream ended without a result line")
 	}
 	return result, nil
 }

@@ -1,0 +1,458 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+	"repro/internal/leakcheck"
+)
+
+// installFaults makes sched the process-wide fault plan for one test and
+// restores the previous plan on cleanup. Fault injection is global, so
+// tests that install schedules must not run in parallel (none in this
+// package do).
+func installFaults(t *testing.T, sched *faultinject.Schedule) {
+	t.Helper()
+	prev := faultinject.Install(sched)
+	t.Cleanup(func() { faultinject.Install(prev) })
+}
+
+// resilienceSweepReq is the 4-point reference design the crash-resume
+// tests replay: small enough to sweep dozens of times, large enough to
+// have interior record boundaries to crash on.
+func resilienceSweepReq() SweepRequest {
+	return SweepRequest{
+		App: "lulesh",
+		Axes: []SweepAxis{
+			{Param: "p", Values: []float64{2, 4}},
+			{Param: "size", Values: []float64{10, 14}},
+		},
+	}
+}
+
+// goldenSweepBytes runs the reference design on a fresh journal-less
+// daemon and returns the raw stream — the bytes every crash/resume
+// variant must reproduce.
+func goldenSweepBytes(t *testing.T) []byte {
+	t.Helper()
+	srv, err := NewServer(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Close()
+	body, status := postSweepRaw(t, hs.URL, resilienceSweepReq())
+	if status != http.StatusOK {
+		t.Fatalf("golden sweep returned %d: %s", status, body)
+	}
+	return body
+}
+
+// postSweepRaw POSTs a sweep with no resume headers and returns the raw
+// response bytes plus the status, tolerating mid-stream aborts.
+func postSweepRaw(t *testing.T, baseURL string, req SweepRequest) ([]byte, int) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/sweep", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body) // short reads expected under injected faults
+	return body, resp.StatusCode
+}
+
+// TestSweepJournalReplayProperty is the crash-at-every-record-boundary
+// property: for each journal append k a clean run performs (acceptance,
+// one per design point, the terminal record — and one past the end as
+// the no-fault control), crash the append at k, restart a fresh daemon
+// over the same cache dir, and require the resubmitted sweep's stream to
+// be byte-identical to an uninterrupted journal-less run. frac 0 crashes
+// before any bytes of the record land; frac 0.5 leaves a torn frame for
+// recovery to truncate.
+func TestSweepJournalReplayProperty(t *testing.T) {
+	golden := goldenSweepBytes(t)
+	req := resilienceSweepReq()
+	const appends = 6 // accept + 4 points + done
+	for _, frac := range []float64{0, 0.5} {
+		for hit := 1; hit <= appends+1; hit++ {
+			t.Run(fmt.Sprintf("hit-%d-frac-%v", hit, frac), func(t *testing.T) {
+				leakcheck.Check(t)
+				dir := t.TempDir()
+
+				// Phase 1: the daemon "crashes" at journal append hit: the
+				// record is cut short on disk and the append fails, aborting
+				// the stream exactly as process death at that boundary would.
+				installFaults(t, faultinject.MustSchedule(faultinject.Fault{
+					Site: faultinject.SiteJournalAppend, Hit: hit,
+					Kind: faultinject.KindCrash, Frac: frac,
+				}))
+				srvA, err := NewServer(Options{Workers: 2, CacheDir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				hsA := httptest.NewServer(srvA.Handler())
+				firstBody, _ := postSweepRaw(t, hsA.URL, req)
+				hsA.Close()
+				srvA.Close()
+				if hit > appends && !bytes.Equal(firstBody, golden) {
+					// The control run past the last boundary must already match.
+					t.Fatalf("unfaulted journaled run diverged from golden:\n got: %s\nwant: %s", firstBody, golden)
+				}
+
+				// Phase 2: a fresh daemon over the same cache dir recovers the
+				// journal and the resubmission must reproduce the golden bytes.
+				faultinject.Install(nil)
+				srvB, err := NewServer(Options{Workers: 2, CacheDir: dir})
+				if err != nil {
+					t.Fatal(err)
+				}
+				hsB := httptest.NewServer(srvB.Handler())
+				defer hsB.Close()
+				defer srvB.Close()
+				body, status := postSweepRaw(t, hsB.URL, req)
+				if status != http.StatusOK {
+					t.Fatalf("resumed sweep returned %d: %s", status, body)
+				}
+				if !bytes.Equal(body, golden) {
+					t.Fatalf("resumed stream diverged from golden:\n got: %s\nwant: %s", body, golden)
+				}
+
+				// The terminal record compacts the journal: nothing left open.
+				if st := srvB.journal.Stats(); st.OpenJobs != 0 {
+					t.Fatalf("journal still holds %d open jobs after completion", st.OpenJobs)
+				}
+			})
+		}
+	}
+}
+
+// TestSweepClientReconnectResumesExactlyOnce drives the client-side half
+// of resume: a journal append failure aborts the stream mid-sweep, the
+// retrying client reconnects with Last-Seq, the server replays the
+// durable prefix, and emit observes every design point exactly once, in
+// order, with the same content a never-interrupted daemon serves.
+func TestSweepClientReconnectResumesExactlyOnce(t *testing.T) {
+	goldenLines := decodeSweepLines(t, goldenSweepBytes(t))
+
+	srv, client := testServer(t, Options{Workers: 2, CacheDir: t.TempDir()})
+	client.Retries = 3
+	client.RetryBaseDelay = time.Millisecond
+
+	// Hit 3 = the second design point's record: point 0 is durable and
+	// delivered, point 1 aborts the stream.
+	installFaults(t, faultinject.MustSchedule(faultinject.Fault{
+		Site: faultinject.SiteJournalAppend, Hit: 3, Kind: faultinject.KindError,
+	}))
+
+	var got []SweepLine
+	err := client.Sweep(context.Background(), resilienceSweepReq(), func(l SweepLine) error {
+		got = append(got, l)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("sweep with reconnect failed: %v", err)
+	}
+	if len(got) != len(goldenLines) {
+		t.Fatalf("emit saw %d lines, want %d", len(got), len(goldenLines))
+	}
+	for i := range got {
+		if got[i].Seq != int64(i+1) || got[i].Index != i {
+			t.Fatalf("line %d out of order: seq=%d index=%d", i, got[i].Seq, got[i].Index)
+		}
+		if !sweepLinesEqual(got[i], goldenLines[i]) {
+			t.Fatalf("line %d diverged across reconnect:\n got: %+v\nwant: %+v", i, got[i], goldenLines[i])
+		}
+	}
+	if inj := faultinject.Installed().Injected(); inj != 1 {
+		t.Fatalf("schedule fired %d times, want 1", inj)
+	}
+	if st := srv.journal.Stats(); st.Replays == 0 {
+		t.Fatal("server never replayed the journal on reconnect")
+	}
+}
+
+// decodeSweepLines parses a raw NDJSON stream into lines.
+func decodeSweepLines(t *testing.T, raw []byte) []SweepLine {
+	t.Helper()
+	var out []SweepLine
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec SweepLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// sweepLinesEqual compares two lines through their canonical JSON — the
+// representation the byte-identity contract is stated in.
+func sweepLinesEqual(a, b SweepLine) bool {
+	ra, _ := json.Marshal(a)
+	rb, _ := json.Marshal(b)
+	return bytes.Equal(ra, rb)
+}
+
+// TestClientHonorsRetryAfter checks that a 429 with a Retry-After hint
+// actually delays the retry: the second attempt must not arrive before
+// the hint elapses.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorBody{Error: "throttled", RetryAfterMS: 80})
+		default:
+			secondAt = time.Now()
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL)
+	c.Retries = 2
+	c.RetryBaseDelay = time.Millisecond
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health never recovered: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d calls, want 2", n)
+	}
+	if wait := secondAt.Sub(firstAt); wait < 80*time.Millisecond {
+		t.Fatalf("retry arrived after %v, want >= 80ms (Retry-After hint)", wait)
+	}
+}
+
+// TestClientDoesNotRetryClientErrors checks the other half of the retry
+// policy: a 400 is the server's final word and must not be retried,
+// while a 503 retries up to the budget.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	status := http.StatusBadRequest
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpError(w, status, fmt.Errorf("no"))
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL)
+	c.Retries = 3
+	c.RetryBaseDelay = time.Millisecond
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("400 reported as success")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("400 retried: server saw %d calls, want 1", n)
+	}
+
+	calls.Store(0)
+	status = http.StatusServiceUnavailable
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("503 reported as success")
+	}
+	if n := calls.Load(); n != 4 {
+		t.Fatalf("503 saw %d attempts, want 1 + 3 retries", n)
+	}
+}
+
+// TestSweepRestartPreservesJobIDs pins the job-ID half of the
+// byte-identity contract directly: the journaled acceptance reserves the
+// ID block, so a daemon restarted mid-sweep labels resumed points with
+// the original IDs and never re-issues them to later work.
+func TestSweepRestartPreservesJobIDs(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	req := resilienceSweepReq()
+
+	// Crash after two durable points (accept=1, points=2,3; hit 4 dies).
+	installFaults(t, faultinject.MustSchedule(faultinject.Fault{
+		Site: faultinject.SiteJournalAppend, Hit: 4, Kind: faultinject.KindCrash, Frac: 0.5,
+	}))
+	srvA, err := NewServer(Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsA := httptest.NewServer(srvA.Handler())
+	postSweepRaw(t, hsA.URL, req)
+	hsA.Close()
+	srvA.Close()
+	faultinject.Install(nil)
+
+	srvB, err := NewServer(Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsB := httptest.NewServer(srvB.Handler())
+	defer hsB.Close()
+	defer srvB.Close()
+
+	// A job submitted before the resume must not collide with the
+	// journal-pinned block job-1..job-4.
+	c := NewClient(hsB.URL)
+	lines := decodeSweepLines(t, mustOKSweep(t, hsB.URL, req))
+	for i, line := range lines {
+		if want := fmt.Sprintf("job-%d", i+1); line.JobID != want {
+			t.Fatalf("resumed point %d labeled %q, want %q", i, line.JobID, want)
+		}
+	}
+	info, err := c.Analyze(context.Background(), AnalyzeRequest{App: "lulesh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID == "job-1" || info.ID == "job-2" || info.ID == "job-3" || info.ID == "job-4" {
+		t.Fatalf("restarted daemon re-issued journaled job ID %s", info.ID)
+	}
+}
+
+// mustOKSweep is postSweepRaw requiring a 200.
+func mustOKSweep(t *testing.T, baseURL string, req SweepRequest) []byte {
+	t.Helper()
+	body, status := postSweepRaw(t, baseURL, req)
+	if status != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", status, body)
+	}
+	return body
+}
+
+// startJournaledCluster boots a coordinator (journal under dir) plus one
+// worker with fast heartbeats and chaos-friendly shard timeouts.
+func startJournaledCluster(t *testing.T, dir string) *Client {
+	t.Helper()
+	leakcheck.Check(t)
+	coordSrv, err := NewServer(Options{
+		Workers:           2,
+		Coordinator:       true,
+		CacheDir:          dir,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+		ShardRetries:      3,
+		ShardTimeout:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := httptest.NewServer(coordSrv.Handler())
+	t.Cleanup(func() {
+		chs.Close()
+		coordSrv.Close()
+	})
+	wsrv, err := NewServer(Options{Workers: 2, HeartbeatInterval: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whs := httptest.NewServer(wsrv.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	wsrv.StartWorkerLoop(ctx, chs.URL, whs.URL)
+	t.Cleanup(func() {
+		cancel()
+		whs.Close()
+		wsrv.Close()
+	})
+	client := NewClient(chs.URL)
+	waitLiveWorkers(t, client, 1)
+	return client
+}
+
+// chaosScheduleCount resolves how many seeded schedules the chaos gate
+// sweeps: the CHAOS_SCHEDULES environment variable (CI pins 200), a
+// small default locally, smaller still under -short.
+func chaosScheduleCount(t *testing.T) int {
+	if v := os.Getenv("CHAOS_SCHEDULES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHAOS_SCHEDULES %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 8
+	}
+	return 25
+}
+
+// TestChaosSchedules is the chaos gate: for each seed, derive a fault
+// schedule (disk tears, journal crashes, dropped dispatches, truncated
+// shard streams, latency), run the reference sweep on a journaled
+// coordinator+worker cluster through a retrying client, and assert the
+// one invariant — the artifact is identical to an unfaulted run or the
+// failure is a clean typed error; never a duplicate line, an
+// out-of-order index, a corrupt journal, or a leaked goroutine.
+func TestChaosSchedules(t *testing.T) {
+	golden := decodeSweepLines(t, goldenSweepBytes(t))
+	req := resilienceSweepReq()
+	n := chaosScheduleCount(t)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			// Registered before the cluster (cleanups run LIFO): after every
+			// node is down, the journal directory must still open cleanly.
+			t.Cleanup(func() {
+				if _, err := journal.Open(filepath.Join(dir, "journal")); err != nil {
+					t.Errorf("seed %d left an unrecoverable journal: %v", seed, err)
+				}
+			})
+			sched := faultinject.Random(int64(seed), 3)
+			installFaults(t, sched)
+			client := startJournaledCluster(t, dir)
+			client.Retries = 8
+			client.RetryBaseDelay = time.Millisecond
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			lines, err := client.SweepAll(ctx, req)
+			if err != nil {
+				// A clean typed error is an acceptable outcome; a partial
+				// emit alongside it must still be a duplicate-free prefix.
+				t.Logf("seed %d (%s): clean failure: %v", seed, sched, err)
+			}
+			seen := make(map[int]bool)
+			for _, l := range lines {
+				if seen[l.Index] {
+					t.Fatalf("seed %d (%s): duplicate index %d", seed, sched, l.Index)
+				}
+				seen[l.Index] = true
+			}
+			if err == nil {
+				if len(lines) != len(golden) {
+					t.Fatalf("seed %d (%s): %d lines, want %d", seed, sched, len(lines), len(golden))
+				}
+				for i := range lines {
+					got, want := lines[i], golden[i]
+					// Job IDs may legitimately shift when a fault kills the
+					// acceptance append before it is durable (the retry draws a
+					// fresh block); everything else must match the golden run.
+					got.JobID, want.JobID = "", ""
+					if !sweepLinesEqual(got, want) {
+						t.Fatalf("seed %d (%s): line %d diverged:\n got: %+v\nwant: %+v", seed, sched, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -172,6 +172,14 @@ func newScheduler(workers, queueDepth int) *scheduler {
 // the streaming request's lifetime instead, so the tail of a large
 // design is not doomed by the time its siblings took).
 func (s *scheduler) newJob(base context.Context, startTTL time.Duration, app string, p *core.Prepared, digest string, cfg apps.Config, censusParams []string) *job {
+	return s.newJobWithID("", base, startTTL, app, p, digest, cfg, censusParams)
+}
+
+// newJobWithID is newJob with a pre-reserved ID (from reserveJobBlock);
+// an empty id draws the next one from the counter. The journaled sweep
+// path reserves its whole ID block at acceptance so a resumed sweep
+// relabels design points with exactly the IDs the original run used.
+func (s *scheduler) newJobWithID(id string, base context.Context, startTTL time.Duration, app string, p *core.Prepared, digest string, cfg apps.Config, censusParams []string) *job {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if startTTL > 0 {
@@ -180,6 +188,7 @@ func (s *scheduler) newJob(base context.Context, startTTL time.Duration, app str
 		ctx, cancel = context.WithCancel(base)
 	}
 	j := &job{
+		id:           id,
 		app:          app,
 		cfg:          cfg,
 		censusParams: censusParams,
@@ -192,8 +201,10 @@ func (s *scheduler) newJob(base context.Context, startTTL time.Duration, app str
 		submitted:    time.Now(),
 	}
 	s.mu.Lock()
-	s.nextID++
-	j.id = fmt.Sprintf("job-%d", s.nextID)
+	if j.id == "" {
+		s.nextID++
+		j.id = fmt.Sprintf("job-%d", s.nextID)
+	}
 	s.jobs[j.id] = j
 	s.stats.Submitted++
 	s.mu.Unlock()
@@ -211,22 +222,44 @@ func (s *scheduler) newJob(base context.Context, startTTL time.Duration, app str
 	return j
 }
 
-// reserveJobIDs claims n consecutive job IDs from the scheduler's
-// counter without registering jobs. The coordinator's distributed sweep
-// path labels remotely-executed design points with these, so the merged
-// stream carries exactly the job-1..job-N sequence a single-node daemon
-// would have assigned — the byte-identity contract. Remote points are
-// accounted in ClusterStats rather than JobStats (they never enter this
-// scheduler's queue), and reserved IDs are not resolvable via
+// reserveJobBlock claims n consecutive job IDs from the scheduler's
+// counter without registering jobs, returning the first numeric ID and
+// the rendered labels. The sweep path reserves its whole block at
+// acceptance and journals the first ID, so both remotely-executed design
+// points and a resumed sweep after a restart carry exactly the
+// job-1..job-N sequence a single uninterrupted run would have assigned —
+// the byte-identity contract. Reserved IDs are not resolvable via
 // GET /v1/jobs, matching how sweep jobs age out of retention.
-func (s *scheduler) reserveJobIDs(n int) []string {
+func (s *scheduler) reserveJobBlock(n int) (uint64, []string) {
 	ids := make([]string, n)
 	s.mu.Lock()
+	first := s.nextID + 1
 	for i := range ids {
 		s.nextID++
 		ids[i] = fmt.Sprintf("job-%d", s.nextID)
 	}
 	s.mu.Unlock()
+	return first, ids
+}
+
+// ensureJobCounter advances the ID counter to at least min, so IDs
+// journaled by a previous process are never re-issued to new jobs after
+// a restart. It never moves the counter backwards.
+func (s *scheduler) ensureJobCounter(min uint64) {
+	s.mu.Lock()
+	if s.nextID < min {
+		s.nextID = min
+	}
+	s.mu.Unlock()
+}
+
+// jobIDBlock renders the n job IDs starting at numeric ID first — the
+// resume-side counterpart of reserveJobBlock.
+func jobIDBlock(first uint64, n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("job-%d", first+uint64(i))
+	}
 	return ids
 }
 

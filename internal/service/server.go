@@ -39,12 +39,15 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -54,6 +57,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
 )
@@ -84,6 +88,11 @@ type Options struct {
 	// MaxBodyBytes caps every JSON request body; oversized bodies are
 	// rejected with 413. <= 0 means 4 MiB.
 	MaxBodyBytes int64
+	// DisableJournal turns the durable job journal off even when CacheDir
+	// is set. The zero value journals whenever a cache dir exists: sweeps
+	// and model extractions then survive daemon restarts, resuming from
+	// the last journaled design point.
+	DisableJournal bool
 	// Rate enables per-client token-bucket admission control: each
 	// client (X-Client-ID header, else remote host) accrues Rate tokens
 	// per second, one analysis costs one token, a sweep one per design
@@ -175,6 +184,10 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
+	// journal is the durable job journal (nil when disabled); the source
+	// of truth for open sweep/model jobs across restarts.
+	journal *journal.Store
+
 	// coord is non-nil in coordinator mode; worker (guarded by clusterMu,
 	// set when a worker loop starts) is this daemon's cluster membership.
 	coord     *coordinator
@@ -208,6 +221,16 @@ func NewServer(opts Options) (*Server, error) {
 		}
 		s.cache.SetDisk(prepared)
 		s.models.SetDisk(models)
+		if !opts.DisableJournal {
+			// Opening the store is also recovery: torn journal tails are
+			// truncated and already-terminal journals compacted, so every
+			// remaining file is an open job awaiting resubmission.
+			jst, err := journal.Open(filepath.Join(opts.CacheDir, "journal"))
+			if err != nil {
+				return nil, fmt.Errorf("service: open journal: %w", err)
+			}
+			s.journal = jst
+		}
 	}
 	if opts.Coordinator && opts.JoinURL != "" {
 		return nil, fmt.Errorf("service: a daemon is a coordinator or a worker, not both")
@@ -351,6 +374,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	} else if wl := s.workerLinkRef(); wl != nil {
 		resp.Cluster = wl.stats()
 	}
+	if s.journal != nil {
+		jst := s.journal.Stats()
+		resp.Journal = &jst
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -483,108 +510,213 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	params := censusParams(req.CensusParams)
+	s.streamSweep(w, r, req, digest, prepared, cfgs, params)
+}
 
-	// Coordinator path: with live workers, the design shards across the
-	// cluster; the merged stream is byte-identical to the local path
-	// below (same job-ID sequence, same line content, same order). With
-	// no live workers a coordinator degrades to the local path.
-	if s.coord != nil && s.coord.hasLive() {
-		s.sweepDistributed(w, r, req.App, digest, prepared, cfgs, params)
+// sweepJournalKey is a sweep's content address in the journal: the
+// prepared spec digest plus the fully-expanded design, census params,
+// and the client's idempotency scope. TimeoutMS is deliberately
+// excluded — a retry with a different timeout is still the same job.
+func sweepJournalKey(app, digest string, cfgs []apps.Config, params []string, idem string) string {
+	payload, _ := json.Marshal(struct {
+		App    string        `json:"app"`
+		Digest string        `json:"digest"`
+		Cfgs   []apps.Config `json:"cfgs"`
+		Params []string      `json:"params"`
+		Idem   string        `json:"idem,omitempty"`
+	}{app, digest, cfgs, params, idem})
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// streamSweep executes a validated sweep and streams its NDJSON lines
+// with journal-backed crash resume. The dataflow per design point is
+// journal-append-then-emit: a line reaches the client only after it is
+// durable, so across any restart the journal's point prefix is a
+// superset of what any client consumed, and replaying that prefix
+// (skipping past the client's Last-Seq) before continuing live
+// reproduces the uninterrupted stream byte for byte. With no journal
+// (memory-only daemon) every journal call below is a no-op and the
+// handler behaves exactly as before, minus durability.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req SweepRequest, digest string, prepared *core.Prepared, cfgs []apps.Config, params []string) {
+	key := sweepJournalKey(req.App, digest, cfgs, params, r.Header.Get(api.HeaderIdempotencyKey))
+	jj, err := s.journal.Acquire(r.Context(), journal.KindSweep, key)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
 		return
 	}
+	defer jj.Release()
 
-	// Submit every configuration as its own job (request-scoped: a client
-	// disconnect cancels everything still queued), then stream results in
-	// design order as they complete. Sweep jobs get no start-TTL unless
-	// the request asks for one: the streaming request's lifetime already
-	// governs them, and a submission-anchored TTL would doom the tail of
-	// any design larger than workers x (TTL / run time).
-	var ttl time.Duration
-	if req.TimeoutMS > 0 {
-		ttl = s.timeout(req.TimeoutMS)
-	}
-	jobs := make([]*job, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		j := s.sched.newJob(r.Context(), ttl, req.App, prepared, digest, cfg, params)
-		if err := s.sched.submit(r.Context(), j); err != nil {
-			httpError(w, http.StatusServiceUnavailable, err)
+	// Resume or accept. The journaled acceptance pins the job-ID block,
+	// so a restarted daemon labels resumed points exactly as the first
+	// process would have — part of the byte-identity contract.
+	n := len(cfgs)
+	var ids []string
+	if acc, ok := jj.Accept(); ok && acc.N == n {
+		ids = jobIDBlock(acc.FirstJobID, n)
+		s.sched.ensureJobCounter(acc.FirstJobID + uint64(n) - 1)
+	} else {
+		if ok {
+			// Same key, different shape: a journal this request cannot
+			// explain is not resumed; run unjournaled rather than guess.
+			jj.Release()
+			jj = nil
+		}
+		first, reserved := s.sched.reserveJobBlock(n)
+		ids = reserved
+		if err := jj.Append(journal.Record{Type: journal.TypeAccept, Kind: journal.KindSweep,
+			Key: key, App: req.App, SpecDigest: digest, N: n, FirstJobID: first}); err != nil {
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("journal: %w", err))
 			return
 		}
-		jobs = append(jobs, j)
+	}
+
+	var lastSeq int64
+	if v := r.Header.Get(api.HeaderLastSeq); v != "" {
+		lastSeq, _ = strconv.ParseInt(v, 10, 64)
+	}
+
+	points := jj.Points()
+	done := len(points)
+	remaining := cfgs[done:]
+
+	// Local jobs are submitted before the response header so queue
+	// saturation still answers a clean 503 (the journaled acceptance
+	// survives for the client's retry to resume).
+	distributed := s.coord != nil && s.coord.hasLive() && len(remaining) > 0
+	var jobs []*job
+	if !distributed {
+		// Sweep jobs get no start-TTL unless the request asks for one: the
+		// streaming request's lifetime already governs them, and a
+		// submission-anchored TTL would doom the tail of any design larger
+		// than workers x (TTL / run time).
+		var ttl time.Duration
+		if req.TimeoutMS > 0 {
+			ttl = s.timeout(req.TimeoutMS)
+		}
+		jobs = make([]*job, 0, len(remaining))
+		for i, cfg := range remaining {
+			j := s.sched.newJobWithID(ids[done+i], r.Context(), ttl, req.App, prepared, digest, cfg, params)
+			if err := s.sched.submit(r.Context(), j); err != nil {
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			jobs = append(jobs, j)
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
+	writeRaw := func(raw []byte) error {
+		if _, err := w.Write(raw); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+		_ = rc.Flush()
+		return nil
+	}
+
+	// Replay the durable prefix byte for byte, skipping lines the
+	// reconnecting client already consumed.
+	for i, rec := range points {
+		if int64(i+1) <= lastSeq {
+			continue
+		}
+		if writeRaw(rec.Line) != nil {
+			return
+		}
+	}
+
+	// emitPoint makes one live design point durable, then streams it. A
+	// point the journal refuses is never exposed: the client gets an
+	// in-band abort line instead, and its reconnect replays the durable
+	// prefix and re-runs the refused point.
+	errJournal := errors.New("service: journal append failed")
+	emitPoint := func(index int, line *SweepLine) error {
+		raw, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		if err := jj.Append(journal.Record{Type: journal.TypePoint, Index: index, Line: raw}); err != nil {
+			abort := SweepLine{Error: fmt.Sprintf("journal append failed: %v", err)}
+			ab, _ := json.Marshal(&abort)
+			_ = writeRaw(ab)
+			return errJournal
+		}
+		return writeRaw(raw)
+	}
+
+	// drainLine announces graceful shutdown in-band: a final well-formed
+	// jobless error line lets the client distinguish "server stopped"
+	// from a truncated stream. Drain lines carry seq 0 and are never
+	// journaled — they are control flow, not results.
+	drainLine := func(index int) {
+		drain := SweepLine{Index: index, Error: "server draining: sweep stopped before completion"}
+		raw, _ := json.Marshal(&drain)
+		_ = writeRaw(raw)
+	}
+
+	if len(remaining) == 0 {
+		_ = jj.Done()
+		return
+	}
+
+	if distributed {
+		// Coordinator path: the remaining design shards across the
+		// cluster; merged bytes match the local path (same job-ID block,
+		// same line content, same order). Shard work dies with the request
+		// or the daemon, whichever first.
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
+
+		errDrain := errors.New("service: draining")
+		err := s.coord.runSharded(ctx, req.App, digest, prepared, remaining, params, func(line api.ShardLine) error {
+			if s.baseCtx.Err() != nil {
+				drainLine(done + line.Index)
+				return errDrain
+			}
+			abs := done + line.Index
+			out := SweepLine{Seq: int64(abs + 1), Index: abs, JobID: ids[abs], Config: cfgs[abs],
+				Result: line.Result, Error: line.Error}
+			return emitPoint(abs, &out)
+		})
+		switch {
+		case err == nil:
+			_ = jj.Done()
+		case errors.Is(err, errDrain) || errors.Is(err, errJournal):
+		case s.baseCtx.Err() != nil && r.Context().Err() == nil:
+			// The daemon died between lines (context cancellation surfaced
+			// from runSharded itself): still announce the drain in-band.
+			drainLine(0)
+		}
+		return
+	}
+
 	for i, j := range jobs {
+		abs := done + i
 		select {
 		case <-j.done:
 		case <-s.baseCtx.Done():
 			// Graceful shutdown: the scheduler is draining, so jobs not yet
-			// finished will never complete. Tell the client in-band — a
-			// final well-formed error line lets it distinguish "server
-			// stopped" from a truncated stream — then flush and stop.
-			drain := SweepLine{Index: i, Error: "server draining: sweep stopped before completion"}
-			_ = enc.Encode(&drain)
-			_ = rc.Flush()
+			// finished will never complete.
+			drainLine(abs)
 			return
 		case <-r.Context().Done():
 			return
 		}
 		info := j.Info()
-		line := SweepLine{Index: i, JobID: j.id, Config: j.cfg,
+		line := SweepLine{Seq: int64(abs + 1), Index: abs, JobID: j.id, Config: j.cfg,
 			Result: info.Result, Error: info.Error}
-		if err := enc.Encode(&line); err != nil {
+		if emitPoint(abs, &line) != nil {
 			return
 		}
-		_ = rc.Flush()
 	}
-}
-
-// sweepDistributed streams a sweep executed across the cluster. Job IDs
-// are reserved from the same scheduler counter the local path draws
-// from, so the emitted job-1..job-N sequence — and with it every byte of
-// the stream — matches what this daemon would have produced running the
-// design itself.
-func (s *Server) sweepDistributed(w http.ResponseWriter, r *http.Request, app, digest string, prepared *core.Prepared, cfgs []apps.Config, params []string) {
-	ids := s.sched.reserveJobIDs(len(cfgs))
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	rc := http.NewResponseController(w)
-
-	// Shard work dies with the request or the daemon, whichever first.
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
-	stop := context.AfterFunc(s.baseCtx, cancel)
-	defer stop()
-
-	errDrain := errors.New("service: draining")
-	err := s.coord.runSharded(ctx, app, digest, prepared, cfgs, params, func(line api.ShardLine) error {
-		if s.baseCtx.Err() != nil {
-			// Same in-band shutdown contract as the local path: one final
-			// well-formed error line, then stop.
-			drain := SweepLine{Index: line.Index, Error: "server draining: sweep stopped before completion"}
-			_ = enc.Encode(&drain)
-			_ = rc.Flush()
-			return errDrain
-		}
-		out := SweepLine{Index: line.Index, JobID: ids[line.Index], Config: cfgs[line.Index],
-			Result: line.Result, Error: line.Error}
-		if err := enc.Encode(&out); err != nil {
-			return err
-		}
-		_ = rc.Flush()
-		return nil
-	})
-	if err != nil && !errors.Is(err, errDrain) && s.baseCtx.Err() != nil && r.Context().Err() == nil {
-		// The daemon died between lines (context cancellation surfaced
-		// from runSharded itself): still announce the drain in-band.
-		drain := SweepLine{Error: "server draining: sweep stopped before completion"}
-		_ = enc.Encode(&drain)
-		_ = rc.Flush()
-	}
+	_ = jj.Done()
 }
 
 // resolve maps an app name to its registry entry and its cached Prepared

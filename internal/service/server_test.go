@@ -11,10 +11,12 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 )
 
 func testServer(t *testing.T, opts Options) (*Server, *Client) {
 	t.Helper()
+	leakcheck.Check(t) // registered first => verified after the server closes
 	srv, err := NewServer(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/faultinject"
 	"repro/internal/runner"
 )
 
@@ -205,17 +206,51 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	params := censusParams(req.CensusParams)
+	// Injected shard-stream faults model a worker dying or stalling
+	// mid-shard: the coordinator must re-dispatch the whole shard to a
+	// survivor (or run it locally) and the merged stream must not change.
+	cutAt := -1 // truncate the NDJSON stream after this many lines
+	if f, ok := faultinject.Eval(faultinject.SiteShardStream); ok {
+		switch f.Kind {
+		case faultinject.KindError:
+			httpError(w, http.StatusServiceUnavailable, faultinject.Errf(f))
+			return
+		case faultinject.KindDrop:
+			// Worker dies before answering: the connection aborts with no
+			// status line, the coordinator re-dispatches to a survivor.
+			panic(http.ErrAbortHandler)
+		case faultinject.KindTruncate:
+			cutAt = faultinject.Cut(f, len(req.Configs))
+		case faultinject.KindLatency:
+			select {
+			case <-time.After(f.Delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	rc := http.NewResponseController(w)
 	rn := &runner.Runner{Workers: s.opts.Workers}
-	_ = rn.SweepFitCtx(r.Context(), prepared, req.Configs, func(res runner.Result) error {
+	sent := 0
+	errCut := errors.New("injected shard stream cut")
+	err = rn.SweepFitCtx(r.Context(), prepared, req.Configs, func(res runner.Result) error {
+		if cutAt >= 0 && sent >= cutAt {
+			return errCut // drain the pool, then kill the connection below
+		}
 		line := shardLine(req.App, digest, req.Start+res.Index, params, res)
 		if err := enc.Encode(&line); err != nil {
 			return err
 		}
 		_ = rc.Flush()
+		sent++
 		return nil
 	})
+	if errors.Is(err, errCut) {
+		// Mid-stream death: abort the connection so the coordinator sees a
+		// short read, not a clean-but-incomplete end-of-stream.
+		panic(http.ErrAbortHandler)
+	}
 }
