@@ -58,6 +58,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
 	"repro/internal/service"
@@ -122,7 +123,7 @@ func runLocal(args []string) {
 	memProfile := fs.String("memprofile", "", "write an allocation profile (after the analysis) to this file")
 	fs.Parse(args)
 	log.Print("note: bare `perftaint -app ...` is deprecated; use `perftaint analyze` (same flags, plus -config and -addr)")
-	analyzeLocal(*app, nil, *cpuProfile, *memProfile)
+	analyzeLocal(*app, nil, *cpuProfile, *memProfile, interp.ModeFast)
 }
 
 // runAnalyze runs one analysis: in-process when -addr is empty, against
@@ -138,6 +139,7 @@ func runAnalyze(args []string) {
 	timeout := fs.Duration("timeout", 60*time.Second, "per-job deadline sent to the daemon (remote only)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file (local only)")
 	memProfile := fs.String("memprofile", "", "write an allocation profile (after the analysis) to this file (local only)")
+	engine := fs.String("engine", "fast", "interpreter tier for the local analysis: fast, reference, or compiled (local only; a daemon picks its own via perftaintd -engine)")
 	retries := retriesFlag(fs)
 	fs.Parse(args)
 
@@ -145,9 +147,16 @@ func runAnalyze(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mode, err := interp.ParseMode(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *addr != "" {
 		if *cpuProfile != "" || *memProfile != "" {
 			log.Fatal("-cpuprofile/-memprofile profile the in-process analysis; they cannot profile a remote daemon (use its -pprof listener)")
+		}
+		if mode != interp.ModeFast {
+			log.Fatal("-engine selects the in-process interpreter; a daemon's tier is fixed by its own -engine flag")
 		}
 		job, err := newClient(*addr, *retries).Analyze(context.Background(), service.AnalyzeRequest{
 			App:       *app,
@@ -163,12 +172,12 @@ func runAnalyze(args []string) {
 		}
 		return
 	}
-	analyzeLocal(*app, overrides, *cpuProfile, *memProfile)
+	analyzeLocal(*app, overrides, *cpuProfile, *memProfile, mode)
 }
 
 // analyzeLocal is the in-process pipeline shared by `perftaint analyze`
 // (without -addr) and the deprecated bare-flags mode.
-func analyzeLocal(appName string, overrides apps.Config, cpuProfile, memProfile string) {
+func analyzeLocal(appName string, overrides apps.Config, cpuProfile, memProfile string, mode interp.Mode) {
 	app, ok := service.BundledApps()[appName]
 	if !ok {
 		log.Fatalf("unknown app %q (want lulesh or milc)", appName)
@@ -198,7 +207,13 @@ func analyzeLocal(appName string, overrides apps.Config, cpuProfile, memProfile 
 		}()
 	}
 
-	rep, err := core.Analyze(spec, cfg)
+	prep, err := core.Prepare(spec)
+	if err != nil {
+		pprof.StopCPUProfile()
+		log.Fatal(err)
+	}
+	prep.Mode = mode
+	rep, err := prep.Analyze(cfg)
 	if err != nil {
 		// log.Fatal skips defers; flush the CPU profile first so a failing
 		// run — the one most worth profiling — still leaves a usable file.
@@ -246,6 +261,7 @@ func runServe(args []string) {
 	rate := fs.Float64("rate", 0, "per-client admission rate in tokens/second (0 = unlimited)")
 	burst := fs.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
 	maxBody := fs.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
+	engine := fs.String("engine", "fast", "interpreter tier for analysis jobs: fast, reference, or compiled")
 	cluster := cliutil.RegisterClusterFlags(fs)
 	fs.Parse(args)
 
@@ -259,6 +275,7 @@ func runServe(args []string) {
 		Rate:         *rate,
 		Burst:        *burst,
 		MaxBodyBytes: *maxBody,
+		Engine:       *engine,
 	}
 	if err := cluster.Apply(&opts); err != nil {
 		log.Fatal(err)

@@ -51,6 +51,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client admission rate in tokens/second (1 analysis = 1 token, sweeps cost design size); 0 disables rate limiting")
 	burst := flag.Float64("burst", 0, "per-client token-bucket capacity (0 = max(1, 2*rate))")
 	maxBody := flag.Int64("max-body", 0, "maximum JSON request body in bytes (0 = 4 MiB)")
+	engine := flag.String("engine", "fast", "interpreter tier for analysis jobs: fast, reference, or compiled")
 	pprofAddr := flag.String("pprof", "", "optional debug listen address for net/http/pprof (e.g. 127.0.0.1:6060); disabled when empty")
 	journalOn := flag.Bool("journal", true, "journal sweep/model progress under <cache-dir>/journal so a restarted daemon resumes interrupted work; requires -cache-dir, ignored without it")
 	cluster := cliutil.RegisterClusterFlags(flag.CommandLine)
@@ -85,6 +86,7 @@ func main() {
 		Rate:           *rate,
 		Burst:          *burst,
 		MaxBodyBytes:   *maxBody,
+		Engine:         *engine,
 		DisableJournal: !*journalOn,
 	}
 	if err := cluster.Apply(&opts); err != nil {

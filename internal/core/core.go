@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/interp"
@@ -42,8 +43,27 @@ type Prepared struct {
 
 	// Mode selects the interpreter engine for Analyze runs; the zero value
 	// is the fast engine. The reference mode exists for differential and
-	// oracle runs.
+	// oracle runs; the compiled mode lowers Program into closure chains
+	// once per Prepared (see CompiledProgram).
 	Mode interp.Mode
+
+	// compiled is the closure-chain artifact of the compiled engine tier,
+	// built at most once per Prepared value. Because the service layer
+	// interns Prepared by SpecDigest (PreparedCache: singleflight + LRU),
+	// hanging the artifact here gives digest-keyed compiled-artifact
+	// caching for free. Go closures cannot be serialized, so unlike the
+	// canonical spec bytes the artifact never reaches the disk tier: a
+	// restarted daemon re-lowers on first compiled-mode use of a digest.
+	compiledOnce sync.Once
+	compiled     *interp.Compiled
+}
+
+// CompiledProgram returns the compiled-closure artifact for Program,
+// lowering it on first use. Safe for concurrent use; every Analyze run
+// of a ModeCompiled Prepared shares the one artifact read-only.
+func (p *Prepared) CompiledProgram() *interp.Compiled {
+	p.compiledOnce.Do(func() { p.compiled = interp.Compile(p.Program) })
+	return p.compiled
 }
 
 // Prepare builds the module from spec, verifies it against the default MPI
@@ -114,6 +134,9 @@ func (p *Prepared) Analyze(cfg apps.Config) (*Report, error) {
 	mach.Fuel = 4_000_000_000
 	mach.Mode = p.Mode
 	mach.Prog = p.Program
+	if p.Mode == interp.ModeCompiled {
+		mach.Compiled = p.CompiledProgram()
+	}
 	pVal := int64(cfg["p"])
 	if pVal <= 0 {
 		return nil, fmt.Errorf("core: config missing implicit parameter p")

@@ -58,19 +58,37 @@ type Term struct {
 	Factors map[string]PowLog
 }
 
-// evalShape computes the term value without the coefficient.
+// evalShape computes the term value without the coefficient. Factors
+// multiply in sorted parameter order: float rounding is order-sensitive,
+// and everything downstream of a fit — model selection, cross-validation,
+// the content-addressed ModelSet bytes — must not depend on map iteration
+// order.
 func (t Term) evalShape(params map[string]float64) float64 {
-	v := 1.0
-	for name, pl := range t.Factors {
-		x, ok := params[name]
-		if !ok {
-			// A parameter absent from the configuration contributes its
-			// clamped unit value; callers should not let this happen.
-			x = 1
+	if len(t.Factors) == 1 {
+		for name, pl := range t.Factors {
+			return pl.Eval(paramOr1(params, name))
 		}
-		v *= pl.Eval(x)
+	}
+	names := make([]string, 0, len(t.Factors))
+	for name := range t.Factors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	v := 1.0
+	for _, name := range names {
+		v *= t.Factors[name].Eval(paramOr1(params, name))
 	}
 	return v
+}
+
+// paramOr1 looks up a configuration value; a parameter absent from the
+// configuration contributes its clamped unit value (callers should not
+// let this happen).
+func paramOr1(params map[string]float64, name string) float64 {
+	if x, ok := params[name]; ok {
+		return x
+	}
+	return 1
 }
 
 // Params returns the parameter names used by the term, sorted.

@@ -352,16 +352,21 @@ func runOne(t *testing.T, mod *ir.Module, args []int64, o runOpts) (string, []st
 func diffModes(t *testing.T, mod *ir.Module, args []int64, fuel int64, tainted bool, params ...string) {
 	t.Helper()
 	ref, refEv := runOne(t, mod, args, runOpts{mode: interp.ModeReference, fuel: fuel, tainted: tainted, trace: true, params: params})
-	fast, fastEv := runOne(t, mod, args, runOpts{mode: interp.ModeFast, fuel: fuel, tainted: tainted, trace: true, params: params})
-	if ref != fast {
-		t.Fatalf("fast engine diverged (tainted=%v fuel=%d):\n--- reference ---\n%s\n--- fast ---\n%s", tainted, fuel, ref, fast)
-	}
-	if len(refEv) != len(fastEv) {
-		t.Fatalf("tracer event count diverged: reference %d, fast %d", len(refEv), len(fastEv))
-	}
-	for i := range refEv {
-		if refEv[i] != fastEv[i] {
-			t.Fatalf("tracer event %d diverged: reference %q, fast %q", i, refEv[i], fastEv[i])
+	for _, m := range []struct {
+		name string
+		mode interp.Mode
+	}{{"fast", interp.ModeFast}, {"compiled", interp.ModeCompiled}} {
+		got, gotEv := runOne(t, mod, args, runOpts{mode: m.mode, fuel: fuel, tainted: tainted, trace: true, params: params})
+		if ref != got {
+			t.Fatalf("%s engine diverged (tainted=%v fuel=%d):\n--- reference ---\n%s\n--- %s ---\n%s", m.name, tainted, fuel, ref, m.name, got)
+		}
+		if len(refEv) != len(gotEv) {
+			t.Fatalf("tracer event count diverged: reference %d, %s %d", len(refEv), m.name, len(gotEv))
+		}
+		for i := range refEv {
+			if refEv[i] != gotEv[i] {
+				t.Fatalf("tracer event %d diverged: reference %q, %s %q", i, refEv[i], m.name, gotEv[i])
+			}
 		}
 	}
 }

@@ -49,6 +49,9 @@ type fastFrame struct {
 	args      []Value
 	argLabels []taint.Label
 	ext       ExternCall
+	// k is the compiled engine's pooled execution context for activations at
+	// this frame's depth (see compile.go); the fast engine never touches it.
+	k kctx
 	// seqBase is the write-sequence epoch of the next activation on this
 	// frame. born entries below it belong to earlier activations and read
 	// as "not yet defined", so reusing the frame costs O(params) instead
@@ -186,6 +189,9 @@ func (m *Machine) frame(depth int, df *dfunc) *fastFrame {
 		fr.born = make([]int, n)
 		// A fresh born array is all zeros; epoch 1 makes them read stale.
 		fr.seqBase = 1
+		// The pooled compiled-engine context caches these banks behind a
+		// df identity guard; force it to re-derive them.
+		fr.k.df = nil
 		return fr
 	}
 	fr.regs = fr.regs[:n]
@@ -388,17 +394,12 @@ func (m *Machine) execFast(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 // happens in exactly the order the reference interpreter produces, which
 // the differential harness asserts.
 func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int32, ctlBase taint.Label, depth int, eng *taint.Engine) (Value, taint.Label, error) {
-	regs := fr.regs
-	labels := fr.labels
-	code := df.code
-	path := m.paths[pathIdx]
-	tainting := eng != nil
 	var cs ctlState
 	cs.ctl = fr.ctl[:0]
 	cs.ctlBase = ctlBase
 	cs.seqBase = fr.seqBase
 	cs.writeSeq = fr.seqBase + 1
-	if tainting && eng.ControlFlow {
+	if eng != nil && eng.ControlFlow {
 		cs.cflow = true
 		born := fr.born
 		for i := int32(0); i < df.numParams; i++ {
@@ -406,9 +407,26 @@ func (m *Machine) execLoop(prog *Program, df *dfunc, fr *fastFrame, pathIdx int3
 		}
 		cs.born = born
 	}
+	return m.execLoopFrom(prog, df, fr, pathIdx, depth, eng, 0, &cs)
+}
+
+// execLoopFrom runs the dispatch loop from an arbitrary instruction index
+// with an existing control-taint state. The compiled engine uses it as its
+// exact-fuel de-optimization path: when the remaining budget cannot cover a
+// pre-charged superinstruction segment, the activation resumes here at the
+// segment's first instruction and burns down per-instruction, so the abort
+// point (and the partial instruction count) is identical to the oracle's.
+// csp is consumed: the callee owns the scope stack and epochs from here on.
+func (m *Machine) execLoopFrom(prog *Program, df *dfunc, fr *fastFrame, pathIdx int32, depth int, eng *taint.Engine, pc0 int32, csp *ctlState) (Value, taint.Label, error) {
+	regs := fr.regs
+	labels := fr.labels
+	code := df.code
+	path := m.paths[pathIdx]
+	tainting := eng != nil
+	cs := *csp
 
 	fuel := m.fuel
-	pc := int32(0)
+	pc := pc0
 	for {
 		in := &code[pc]
 		fuel--

@@ -1,0 +1,100 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/libdb"
+)
+
+// FuzzDifferentialEngines is the three-way differential fuzz gate of the
+// compiled engine tier: every input derives a seeded, always-terminating
+// random module (the same generator as the table-driven differential
+// tests) and executes it under the reference, fast, and compiled engines.
+// All observables must match bit-for-bit — result value and label mask,
+// instruction counts, loop records (iterations, entries, label masks),
+// branch records, library-call records, recursion warnings, and the full
+// tracer event stream; those are exactly the inputs the census and
+// FuncDeps aggregations consume, so agreement here pins the whole
+// pipeline. Each input also reruns with a truncated fuel budget derived
+// from the fuzzed selector, sweeping abort points across superinstruction
+// boundaries: the compiled engine must de-optimize to the oracle's exact
+// partial instruction count.
+//
+// Run it as a fuzzer with:
+//
+//	go test ./internal/interp -run '^$' -fuzz FuzzDifferentialEngines -fuzztime 30s
+//
+// Under plain `go test` the committed corpus under
+// testdata/fuzz/FuzzDifferentialEngines (plus the f.Add seeds) runs as
+// regular regression cases.
+func FuzzDifferentialEngines(f *testing.F) {
+	f.Add(int64(13), int64(3), int64(-1), int64(2), uint16(0))
+	f.Add(int64(7919), int64(8), int64(2), int64(1), uint16(7))
+	f.Add(int64(31337), int64(0), int64(0), int64(0), uint16(255))
+	f.Add(int64(-4), int64(5), int64(-3), int64(7), uint16(31))
+	f.Fuzz(func(t *testing.T, seed, a0, a1, a2 int64, fuelSel uint16) {
+		// Shape the module from the seed so one int64 explores the whole
+		// generator space; bounds mirror the table-driven differential.
+		cfg := genConfig{
+			funcs:    int(uint64(seed) % 5),
+			stmts:    2 + int(uint64(seed)>>3%7),
+			maxDepth: 1 + int(uint64(seed)>>7%3),
+		}
+		mod := genModule(seed, cfg)
+		db := libdb.DefaultMPI()
+		if err := ir.VerifyModule(mod, func(name string) bool {
+			_, ok := db.Lookup(name)
+			return ok
+		}); err != nil {
+			t.Fatalf("generator produced invalid module: %v", err)
+		}
+		args := []int64{a0 % 16, a1 % 16, a2 % 16}
+		// The budget bounds runaway generated modules (they terminate, but
+		// possibly only after hundreds of millions of instructions) and
+		// keeps fuzz throughput useful; an exhausted budget is itself a
+		// compared observable — all three engines must abort identically.
+		// 20k keeps the slowest engine (the tree-walking reference, run
+		// four times per input) well under the fuzzer's per-exec hang
+		// threshold while still covering thousands of loop iterations.
+		const budget = 20_000
+		diffModes(t, mod, args, budget, true)
+		diffModes(t, mod, args, budget, false)
+
+		// Probe the full run length cheaply (fast engine, untainted); when
+		// the module finishes within budget, rerun with a fuzzed truncation
+		// point: as the corpus grows this sweeps every fuel value crossing
+		// a fused segment's pre-charge.
+		probe := interp.NewMachine(mod)
+		probe.Fuel = budget
+		libdb.DefaultMPI().Bind(probe, nil, libdb.RunConfig{CommSize: 8})
+		res, err := probe.Run("main", args, nil)
+		if err != nil || res.Instructions <= 1 {
+			return
+		}
+		fuel := 1 + int64(fuelSel)%res.Instructions
+		diffModes(t, mod, args, fuel, true)
+		diffModes(t, mod, args, fuel, false)
+	})
+}
+
+// TestFuzzCorpusShapes pins the derivation from fuzz input to generator
+// shape: if the mapping above changes, the committed corpus under
+// testdata/fuzz no longer exercises the intended shapes and should be
+// re-seeded.
+func TestFuzzCorpusShapes(t *testing.T) {
+	for _, seed := range []int64{13, 7919, 31337, -4} {
+		cfg := genConfig{
+			funcs:    int(uint64(seed) % 5),
+			stmts:    2 + int(uint64(seed)>>3%7),
+			maxDepth: 1 + int(uint64(seed)>>7%3),
+		}
+		if cfg.funcs < 0 || cfg.funcs > 4 || cfg.stmts < 2 || cfg.stmts > 8 || cfg.maxDepth < 1 || cfg.maxDepth > 3 {
+			t.Fatalf("seed %d derives out-of-bounds shape %+v", seed, cfg)
+		}
+		if mod := genModule(seed, cfg); mod == nil {
+			t.Fatalf("seed %d generated no module", seed)
+		}
+	}
+}

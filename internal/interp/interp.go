@@ -7,13 +7,18 @@
 // exit events and abstract work, which the measurement substrate uses to
 // model instrumentation intrusion.
 //
-// Two engines implement these semantics. The default fast engine executes a
-// predecoded Program: dense per-function instruction arrays with resolved
+// Three engines implement these semantics. The default fast engine executes
+// a predecoded Program: dense per-function instruction arrays with resolved
 // branch targets and per-edge loop effects, pooled call frames, and interned
 // call paths whose taint records resolve to cached pointers (see
-// predecode.go and fast.go). The original tree-walking interpreter is kept
-// behind Machine.Mode == ModeReference as the semantic oracle; the
-// differential test harness proves both produce identical observables.
+// predecode.go and fast.go). The compiled engine (Machine.Mode ==
+// ModeCompiled) lowers the same Program once into chains of specialized Go
+// closures — superinstructions for common 2-3 instruction sequences,
+// batched fuel accounting, and provably-clean block variants that skip all
+// label work (see compile.go) — and is the production tier for sweep
+// execution. The original tree-walking interpreter is kept behind
+// Machine.Mode == ModeReference as the semantic oracle; the differential and
+// fuzz harnesses prove all three produce identical observables.
 package interp
 
 import (
@@ -105,7 +110,42 @@ const (
 	// ModeReference runs the original tree-walking interpreter, kept as
 	// the semantic oracle for differential testing.
 	ModeReference
+	// ModeCompiled runs the compiled-closure engine: the predecoded program
+	// is lowered once (Compile) into per-block chains of specialized Go
+	// closures with fused superinstructions, segment-batched fuel, and
+	// taint-clean block variants. Observables are bit-identical to the
+	// other engines; fuel exhaustion de-optimizes into the fast loop so
+	// even partial instruction counts match exactly.
+	ModeCompiled
 )
+
+// String names the engine the way flags, logs, and /v1/stats spell it.
+func (m Mode) String() string {
+	switch m {
+	case ModeFast:
+		return "fast"
+	case ModeReference:
+		return "reference"
+	case ModeCompiled:
+		return "compiled"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ParseMode resolves an engine name — a -engine flag value — to a Mode.
+// The empty string selects the default fast engine.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "fast":
+		return ModeFast, nil
+	case "reference":
+		return ModeReference, nil
+	case "compiled":
+		return ModeCompiled, nil
+	}
+	return ModeFast, fmt.Errorf("interp: unknown engine %q (want fast, reference, or compiled)", s)
+}
 
 // Machine executes functions of one module with optional taint and tracing.
 type Machine struct {
@@ -121,6 +161,11 @@ type Machine struct {
 	// Predecode); batch runs cache one Program across all machines. When
 	// nil the fast engine predecodes lazily and caches per machine.
 	Prog *Program
+	// Compiled, when set, is the shared compiled-closure artifact for Prog
+	// (see Compile); batch runs and the daemon cache one per spec digest.
+	// When nil and Mode is ModeCompiled, the machine compiles lazily and
+	// caches per machine.
+	Compiled *Compiled
 
 	heap []Value
 	// shadow carries the heap labels for the prefix [0, len(shadow)); cells
@@ -141,18 +186,24 @@ type Machine struct {
 	// Fast-engine per-run state (see fast.go). labeling records whether the
 	// current run maintains register label banks at all (taint engine
 	// attached or argument labels supplied).
-	progOwned   *Program
-	globalBase  []Value
-	externSlots []Extern
-	activeN     []int32
-	frames      []*fastFrame
-	paths       []*pathNode
-	branchRecs  [][]*taint.BranchRecord
-	labeling    bool
+	progOwned     *Program
+	compiledOwned *Compiled
+	globalBase    []Value
+	externSlots   []Extern
+	activeN       []int32
+	frames        []*fastFrame
+	paths         []*pathNode
+	branchRecs    [][]*taint.BranchRecord
+	labeling      bool
 	// siteCache memoizes, per module-unique call site, the last
 	// (parent path, child path) resolution packed as parent<<32|child;
 	// child indices are never 0 (the root is index 0), so 0 means empty.
 	siteCache []int64
+	// kGen is the compiled engine's run generation: bumped once per
+	// runCompiled, it invalidates the run-scoped fields cached in every
+	// pooled kctx (see execBlocks). Starts at 0 so a fresh frame's kctx
+	// (gen 0) never matches a live generation (always >= 1).
+	kGen uint64
 }
 
 // NewMachine prepares a machine for module m. Externs and Taint may be set
@@ -369,6 +420,9 @@ type Result struct {
 func (m *Machine) Run(entry string, args []Value, argLabels []taint.Label) (*Result, error) {
 	if m.Mode == ModeFast {
 		return m.runFast(entry, args, argLabels)
+	}
+	if m.Mode == ModeCompiled {
+		return m.runCompiled(entry, args, argLabels)
 	}
 	fn, ok := m.Mod.Funcs[entry]
 	if !ok {

@@ -57,6 +57,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/journal"
 	"repro/internal/modelreg"
 	"repro/internal/runner"
@@ -88,6 +89,12 @@ type Options struct {
 	// MaxBodyBytes caps every JSON request body; oversized bodies are
 	// rejected with 413. <= 0 means 4 MiB.
 	MaxBodyBytes int64
+	// Engine selects the interpreter tier analysis jobs run on: "fast"
+	// (empty/default), "reference", or "compiled". The engine is applied
+	// when a spec is prepared, so every job served from one cached
+	// Prepared runs on the same tier; the compiled tier's closure-chain
+	// artifact is lowered once per cached digest and shared read-only.
+	Engine string
 	// DisableJournal turns the durable job journal off even when CacheDir
 	// is set. The zero value journals whenever a cache dir exists: sweeps
 	// and model extractions then survive daemon restarts, resuming from
@@ -170,6 +177,7 @@ func (o Options) withDefaults() Options {
 // and scheduler behind it.
 type Server struct {
 	opts    Options
+	engine  interp.Mode
 	cache   *PreparedCache
 	sched   *scheduler
 	models  *modelreg.Registry
@@ -234,6 +242,24 @@ func NewServer(opts Options) (*Server, error) {
 	}
 	if opts.Coordinator && opts.JoinURL != "" {
 		return nil, fmt.Errorf("service: a daemon is a coordinator or a worker, not both")
+	}
+	mode, err := interp.ParseMode(opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.engine = mode
+	if mode != interp.ModeFast {
+		// The engine is pinned before an entry is published, so every job
+		// served from one cached Prepared runs on the same tier — including
+		// entries lazily rebuilt from the disk tier's canonical bytes.
+		s.cache.prepare = func(spec *apps.Spec) (*core.Prepared, error) {
+			p, err := core.Prepare(spec)
+			if err != nil {
+				return nil, err
+			}
+			p.Mode = mode
+			return p, nil
+		}
 	}
 	s.cache.onBuild = func(d time.Duration) { s.metrics.ObserveStage(StagePrepare, d) }
 	s.sched.onRun = func(d time.Duration) { s.metrics.ObserveStage(StageRun, d) }
@@ -361,6 +387,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp := &StatsResponse{
 		UptimeMS:    time.Since(s.start).Milliseconds(),
 		Workers:     s.opts.Workers,
+		Engine:      s.engine.String(),
 		Apps:        names,
 		Cache:       s.cache.Stats(),
 		Models:      s.models.Stats(),
